@@ -1,0 +1,28 @@
+# Convenience targets for the K-RAD reproduction.
+
+PY ?= python
+
+.PHONY: install test bench repro examples coverage clean
+
+install:
+	pip install -e . --no-build-isolation || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# regenerate every paper artefact + extension and fail on any check
+repro:
+	$(PY) -m repro all
+
+repro-report:
+	$(PY) -m repro all --out repro_report.md --markdown
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples ran"
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

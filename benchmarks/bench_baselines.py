@@ -1,0 +1,39 @@
+"""BASE bench — regenerate the scheduler-comparison table, plus per-scheduler
+allocation timing on a common heavy workload."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import exp_baselines
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import Equi, GreedyFcfs, KDeq, KRad, KRoundRobin
+from repro.sim import simulate
+
+
+def test_baseline_comparison_table(benchmark):
+    report = benchmark.pedantic(
+        exp_baselines.run, kwargs={"seed": 0, "repeats": 2}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+@pytest.mark.parametrize(
+    "scheduler_factory",
+    [KRad, KDeq, KRoundRobin, Equi, GreedyFcfs],
+    ids=lambda f: f.name,
+)
+def test_scheduler_simulation_speed(benchmark, scheduler_factory):
+    """End-to-end simulation time of each scheduler on one heavy workload."""
+    machine = KResourceMachine((8, 4))
+    rng = np.random.default_rng(42)
+    js = workloads.heavy_phase_jobset(rng, machine, load_factor=4.0)
+
+    def run():
+        return simulate(machine, scheduler_factory(), js)
+
+    result = benchmark(run)
+    assert result.makespan > 0

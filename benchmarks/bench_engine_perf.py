@@ -1,0 +1,52 @@
+"""PERF bench — simulation-engine throughput scaling.
+
+Not a paper artefact: repository QA that keeps the substrate fast enough for
+the sweeps.  Measures end-to-end simulation time while scaling jobs,
+processors and categories, and DAG-unfolding cost on a large graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag import builders
+from repro.jobs import JobSet, workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad
+from repro.sim import simulate
+
+
+@pytest.mark.parametrize("n_jobs", [16, 64, 256])
+def test_scaling_jobs(benchmark, n_jobs):
+    machine = KResourceMachine((8, 8))
+    rng = np.random.default_rng(0)
+    js = workloads.random_phase_jobset(rng, 2, n_jobs, max_work=20)
+    result = benchmark(lambda: simulate(machine, KRad(), js))
+    assert result.num_jobs == n_jobs
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
+def test_scaling_categories(benchmark, k):
+    machine = KResourceMachine(tuple([4] * k))
+    rng = np.random.default_rng(1)
+    js = workloads.random_phase_jobset(rng, k, 32, max_work=20)
+    result = benchmark(lambda: simulate(machine, KRad(), js))
+    assert result.makespan > 0
+
+
+def test_large_dag_unfolding(benchmark):
+    """A single 10k-vertex mesh job through the full engine."""
+    machine = KResourceMachine((16, 16))
+    dag = builders.diamond_mesh(100, 100, 2)
+    js = JobSet.from_dags([dag])
+    result = benchmark(lambda: simulate(machine, KRad(), js))
+    assert result.makespan >= dag.span()
+
+
+def test_trace_recording_overhead(benchmark):
+    machine = KResourceMachine((8,))
+    rng = np.random.default_rng(2)
+    js = workloads.random_phase_jobset(rng, 1, 64, max_work=20)
+    result = benchmark(
+        lambda: simulate(machine, KRad(), js, record_trace=True)
+    )
+    assert result.trace is not None

@@ -1,0 +1,153 @@
+"""Extension benches — RAND, SPEED, FEEDBACK, ABLATE (see DESIGN.md).
+
+Each regenerates one extension experiment and asserts its checks, exactly
+like the paper-artefact benches.
+"""
+
+from repro.experiments import (
+    exp_ablation,
+    exp_feedback,
+    exp_randomized,
+    exp_speeds,
+)
+
+
+def test_rand_randomized_vs_adversary(benchmark):
+    report = benchmark.pedantic(
+        exp_randomized.run, kwargs={"seed": 0, "trials": 10}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_speed_heterogeneity(benchmark):
+    report = benchmark.pedantic(
+        exp_speeds.run, kwargs={"seed": 0, "repeats": 2}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_feedback_desires(benchmark):
+    report = benchmark.pedantic(
+        exp_feedback.run, kwargs={"seed": 0, "repeats": 2}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_ablation(benchmark):
+    report = benchmark.pedantic(
+        exp_ablation.run, kwargs={"seed": 0, "m": 4}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_fairness_bimodal(benchmark):
+    from repro.experiments import exp_fairness
+
+    report = benchmark.pedantic(
+        exp_fairness.run, kwargs={"seed": 0, "repeats": 2}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_dagshop_positioning(benchmark):
+    from repro.experiments import exp_dagshop
+
+    report = benchmark.pedantic(
+        exp_dagshop.run, kwargs={"seed": 0, "repeats": 3}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_failure_injection(benchmark):
+    from repro.experiments import exp_faults
+
+    report = benchmark.pedantic(
+        exp_faults.run, kwargs={"seed": 0, "repeats": 3}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_true_optimum_small_instances(benchmark):
+    from repro.experiments import exp_optimal
+
+    report = benchmark.pedantic(
+        exp_optimal.run, kwargs={"seed": 0, "instances": 30}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_adversarial_hunt(benchmark):
+    from repro.experiments import exp_hunt
+
+    report = benchmark.pedantic(
+        exp_hunt.run, kwargs={"seed": 0, "iterations": 400}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_adaptivity_vs_static(benchmark):
+    from repro.experiments import exp_adaptivity
+
+    report = benchmark.pedantic(
+        exp_adaptivity.run, kwargs={"seed": 0, "repeats": 3}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_workload_characterization(benchmark):
+    from repro.experiments import exp_workloads
+
+    report = benchmark(exp_workloads.run)
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_application_templates(benchmark):
+    from repro.experiments import exp_applications
+
+    report = benchmark.pedantic(
+        exp_applications.run, kwargs={"seed": 0, "repeats": 4}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_sensitivity_surface(benchmark):
+    from repro.experiments import exp_sensitivity
+
+    report = benchmark.pedantic(exp_sensitivity.run, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()

@@ -1,0 +1,10 @@
+"""FIG1 bench — regenerate the Figure-1 example job end to end."""
+
+from repro.experiments import fig1_example
+
+
+def test_fig1_example(benchmark):
+    report = benchmark(fig1_example.run)
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()

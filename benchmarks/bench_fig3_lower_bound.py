@@ -1,0 +1,38 @@
+"""FIG3/THM1 bench — regenerate the adversarial lower-bound table.
+
+Reproduces the Figure-3 construction at full scale: exact closed-form
+makespans for the adversarial (K-RAD + CriticalPathLast) and optimal
+(clairvoyant + CriticalPathFirst) schedules, with the ratio climbing toward
+``K + 1 - 1/Pmax``.
+"""
+
+import pytest
+
+from repro.dag.lowerbound import figure3_instance
+from repro.experiments import fig3_lower_bound
+from repro.jobs import CP_LAST, JobSet
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad
+from repro.sim import simulate
+
+
+def test_fig3_full_table(benchmark):
+    report = benchmark(fig3_lower_bound.run)
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+@pytest.mark.parametrize("caps", [(2, 2), (2, 2, 4), (4, 4, 4)])
+def test_fig3_adversarial_run(benchmark, caps):
+    """Time just the adversarial K-RAD simulation at m = 8."""
+    m = 8
+    inst = figure3_instance(m, caps)
+    machine = KResourceMachine(caps)
+    base = JobSet.from_dags(inst.dags)
+
+    def run():
+        return simulate(machine, KRad(), base, policy=CP_LAST)
+
+    result = benchmark(run)
+    assert result.makespan == inst.adversarial_makespan

@@ -1,0 +1,80 @@
+"""I/O benches: serialization and SWF parsing throughput (repo QA)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    jobset_from_dict,
+    jobset_from_swf,
+    jobset_to_dict,
+    parse_swf,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def big_jobset():
+    rng = np.random.default_rng(0)
+    return workloads.random_dag_jobset(rng, 3, 100, size_hint=30)
+
+
+def test_jobset_json_round_trip(benchmark, big_jobset):
+    def round_trip():
+        return jobset_from_dict(
+            json.loads(json.dumps(jobset_to_dict(big_jobset)))
+        )
+
+    out = benchmark(round_trip)
+    assert len(out) == 100
+
+
+def test_trace_json_round_trip(benchmark):
+    machine = KResourceMachine((8, 4))
+    rng = np.random.default_rng(1)
+    js = workloads.random_dag_jobset(rng, 2, 20, size_hint=20)
+    trace = simulate(machine, KRad(), js, record_trace=True).trace
+
+    def round_trip():
+        return trace_from_dict(
+            json.loads(json.dumps(trace_to_dict(trace)))
+        )
+
+    out = benchmark(round_trip)
+    assert len(out) == len(trace)
+
+
+def test_swf_parse_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    lines = ["; synthetic"]
+    t = 0
+    for jid in range(1, 2001):
+        t += int(rng.exponential(10))
+        lines.append(
+            f"{jid} {t} -1 {int(rng.integers(1, 500))} "
+            f"{int(2 ** rng.integers(0, 6))} " + " ".join(["-1"] * 13)
+        )
+    text = "\n".join(lines)
+    jobs = benchmark(parse_swf, text)
+    assert len(jobs) == 2000
+
+
+def test_swf_lift_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    lines = ["; synthetic"]
+    for jid in range(1, 501):
+        lines.append(
+            f"{jid} {jid * 3} -1 {int(rng.integers(10, 200))} "
+            f"{int(2 ** rng.integers(0, 5))} " + " ".join(["-1"] * 13)
+        )
+    text = "\n".join(lines)
+    js = benchmark(
+        jobset_from_swf, text, category_mix=(0.6, 0.4), time_scale=0.1
+    )
+    assert len(js) == 500

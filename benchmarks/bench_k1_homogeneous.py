@@ -1,0 +1,14 @@
+"""K1 bench — regenerate the homogeneous special-case tables (RAD
+3-competitive for mean RT; 2 - 1/P makespan adversary)."""
+
+from repro.experiments import exp_k1_homogeneous
+
+
+def test_k1_homogeneous(benchmark):
+    report = benchmark.pedantic(
+        exp_k1_homogeneous.run, kwargs={"seed": 0, "repeats": 2}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()

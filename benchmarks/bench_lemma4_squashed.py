@@ -1,0 +1,25 @@
+"""LEM4 bench — randomized verification of the squashed-sum lemma, plus the
+raw throughput of the squashed-sum primitive (it sits inside every
+response-time lower bound, so it should be cheap)."""
+
+import numpy as np
+
+from repro.experiments import exp_lemma4
+from repro.theory.squashed import squashed_sum
+
+
+def test_lemma4_randomized(benchmark):
+    report = benchmark.pedantic(
+        exp_lemma4.run, kwargs={"seed": 0, "trials": 2000}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
+def test_squashed_sum_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1000, size=100_000)
+    result = benchmark(squashed_sum, values)
+    assert result > 0

@@ -1,0 +1,13 @@
+"""THM3/LEM2 bench — regenerate the makespan-competitiveness sweep."""
+
+from repro.experiments import exp_makespan
+
+
+def test_thm3_makespan_sweep(benchmark):
+    report = benchmark.pedantic(
+        exp_makespan.run, kwargs={"seed": 0, "repeats": 2}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()

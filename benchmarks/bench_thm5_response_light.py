@@ -1,0 +1,13 @@
+"""THM5 bench — regenerate the light-workload response-time table."""
+
+from repro.experiments import exp_response_light
+
+
+def test_thm5_light_workload(benchmark):
+    report = benchmark.pedantic(
+        exp_response_light.run, kwargs={"seed": 0, "repeats": 3}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()

@@ -1,0 +1,13 @@
+"""THM6 bench — regenerate the heavy-workload response-time table."""
+
+from repro.experiments import exp_response_heavy
+
+
+def test_thm6_heavy_workload(benchmark):
+    report = benchmark.pedantic(
+        exp_response_heavy.run, kwargs={"seed": 0, "repeats": 2}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one DESIGN.md experiment (a table or figure of
+the paper) and *asserts its checks pass* before timing is reported, so a
+green benchmark run is also a full reproduction run.  Rendered tables go to
+stdout (visible with ``pytest benchmarks/ --benchmark-only -s``) and are the
+source of the numbers recorded in EXPERIMENTS.md.
+"""

@@ -1,0 +1,35 @@
+"""Experiment analysis: competitive ratios, sweeps, tables, statistics."""
+
+from repro.analysis.export import markdown_table, report_to_markdown
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_ci
+from repro.analysis.hunt import HuntResult, hunt_adversarial_instances
+from repro.analysis.competitive import (
+    RatioMeasurement,
+    compare_schedulers,
+    makespan_ratio,
+    mean_response_ratio,
+)
+from repro.analysis.stats import Summary, geometric_mean, summarize
+from repro.analysis.sweeps import SweepResult, grid, run_sweep
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "markdown_table",
+    "report_to_markdown",
+    "BootstrapCI",
+    "bootstrap_ci",
+    "HuntResult",
+    "hunt_adversarial_instances",
+    "RatioMeasurement",
+    "compare_schedulers",
+    "makespan_ratio",
+    "mean_response_ratio",
+    "Summary",
+    "geometric_mean",
+    "summarize",
+    "SweepResult",
+    "grid",
+    "run_sweep",
+    "format_series",
+    "format_table",
+]

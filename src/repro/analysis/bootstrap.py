@@ -1,0 +1,68 @@
+"""Bootstrap confidence intervals for experiment aggregates.
+
+Experiments report means over a handful of repetitions; a bootstrap CI
+says how much those means can be trusted without distributional
+assumptions.  Percentile bootstrap, deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["BootstrapCI", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pct = int(round(self.confidence * 100))
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}]{pct}%"
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low - 1e-12 <= value <= self.high + 1e-12
+
+
+def bootstrap_ci(
+    values: Sequence[float] | np.ndarray,
+    *,
+    statistic=np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for ``statistic`` over ``values``."""
+    a = np.asarray(values, dtype=np.float64)
+    if a.size == 0:
+        raise ReproError("bootstrap needs at least one observation")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must be in (0,1), got {confidence}")
+    if resamples < 1:
+        raise ReproError(f"resamples must be >= 1, got {resamples}")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, a.size, size=(resamples, a.size))
+    stats = np.asarray([statistic(a[row]) for row in idx], dtype=np.float64)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=float(statistic(a)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        resamples=resamples,
+    )

@@ -1,0 +1,134 @@
+"""Empirical competitive-ratio measurement.
+
+``measured objective / lower-bound certificate`` over-estimates the true
+competitive ratio (the certificate under-estimates the optimum), so every
+ratio reported here is a *sound witness*: if it stays below the theorem's
+constant, the guarantee held; and on adversarial instances where the optimum
+is known in closed form, the ratio is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.jobs.jobset import JobSet
+from repro.jobs.policies import ExecutionPolicy, FIFO
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.base import Scheduler
+from repro.sim.engine import simulate
+from repro.theory import bounds
+
+__all__ = [
+    "RatioMeasurement",
+    "makespan_ratio",
+    "mean_response_ratio",
+    "compare_schedulers",
+]
+
+
+@dataclass(frozen=True)
+class RatioMeasurement:
+    """One measured competitive ratio with its theoretical ceiling."""
+
+    scheduler: str
+    objective: str  # "makespan" | "mean-rt"
+    measured_value: float
+    lower_bound: float
+    ratio: float
+    theorem_limit: float | None
+
+    @property
+    def within_bound(self) -> bool:
+        if self.theorem_limit is None:
+            return True
+        return self.ratio <= self.theorem_limit + 1e-9
+
+
+def makespan_ratio(
+    machine: KResourceMachine,
+    scheduler: Scheduler,
+    jobset: JobSet,
+    *,
+    policy: ExecutionPolicy = FIFO,
+    seed: int | None = None,
+    theorem_limit: float | None = None,
+) -> RatioMeasurement:
+    """Makespan over the Section-4 lower bound for one run."""
+    result = simulate(machine, scheduler, jobset, policy=policy, seed=seed)
+    lb = bounds.makespan_lower_bound(jobset, machine)
+    if lb <= 0:
+        raise ReproError("degenerate job set: zero makespan lower bound")
+    if theorem_limit is None and scheduler.name in ("k-rad", "rad"):
+        theorem_limit = bounds.theorem3_ratio(
+            machine.num_categories, machine.pmax
+        )
+    return RatioMeasurement(
+        scheduler=scheduler.name,
+        objective="makespan",
+        measured_value=float(result.makespan),
+        lower_bound=lb,
+        ratio=result.makespan / lb,
+        theorem_limit=theorem_limit,
+    )
+
+
+def mean_response_ratio(
+    machine: KResourceMachine,
+    scheduler: Scheduler,
+    jobset: JobSet,
+    *,
+    policy: ExecutionPolicy = FIFO,
+    seed: int | None = None,
+    theorem_limit: float | None = None,
+) -> RatioMeasurement:
+    """Mean response time over the Section-6 lower bound (batched sets)."""
+    result = simulate(machine, scheduler, jobset, policy=policy, seed=seed)
+    lb = bounds.mean_response_lower_bound(jobset, machine)
+    if lb <= 0:
+        raise ReproError("degenerate job set: zero response-time lower bound")
+    if theorem_limit is None and scheduler.name in ("k-rad", "rad"):
+        theorem_limit = bounds.theorem6_ratio(
+            machine.num_categories, len(jobset)
+        )
+    return RatioMeasurement(
+        scheduler=scheduler.name,
+        objective="mean-rt",
+        measured_value=result.mean_response_time,
+        lower_bound=lb,
+        ratio=result.mean_response_time / lb,
+        theorem_limit=theorem_limit,
+    )
+
+
+def compare_schedulers(
+    machine: KResourceMachine,
+    schedulers: list[Scheduler],
+    jobset: JobSet,
+    *,
+    policy: ExecutionPolicy = FIFO,
+    seed: int | None = None,
+) -> dict[str, dict[str, float]]:
+    """Run every scheduler on (fresh copies of) one job set.
+
+    Returns ``scheduler name -> {makespan, mean_rt, makespan_ratio,
+    mean_rt_ratio}`` — the raw material of the baseline-comparison tables.
+    Response-time ratios are only included for batched sets.
+    """
+    batched = jobset.is_batched()
+    makespan_lb = bounds.makespan_lower_bound(jobset, machine)
+    rt_lb = (
+        bounds.mean_response_lower_bound(jobset, machine) if batched else None
+    )
+    out: dict[str, dict[str, float]] = {}
+    for sched in schedulers:
+        result = simulate(machine, sched, jobset, policy=policy, seed=seed)
+        row = {
+            "makespan": float(result.makespan),
+            "mean_rt": result.mean_response_time,
+            "makespan_ratio": result.makespan / makespan_lb,
+        }
+        if rt_lb:
+            row["mean_rt_ratio"] = result.mean_response_time / rt_lb
+        out[sched.name] = row
+    return out

@@ -1,0 +1,59 @@
+"""Markdown export of experiment reports.
+
+``krad all --out report.md --markdown`` renders every
+:class:`~repro.experiments.common.ExperimentReport` as GitHub-flavoured
+markdown — the same pipeline that regenerates EXPERIMENTS.md-style records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["markdown_table", "report_to_markdown"]
+
+
+def _cell(value: Any, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value).replace("|", "\\|")
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    precision: int = 3,
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header width")
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_cell(v, precision) for v in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def report_to_markdown(report) -> str:
+    """One experiment report as a markdown section."""
+    lines = [f"## {report.experiment_id} — {report.title}", ""]
+    if report.rows:
+        lines.append(markdown_table(report.headers, report.rows))
+        lines.append("")
+    for note in report.notes:
+        lines.append(f"*{note}*")
+    if report.notes:
+        lines.append("")
+    for name, ok in report.checks.items():
+        lines.append(f"- {'✅' if ok else '❌'} {name}")
+    lines.append("")
+    lines.append(
+        f"**{'PASSED' if report.passed else 'FAILED'}**"
+    )
+    return "\n".join(lines)

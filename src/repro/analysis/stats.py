@@ -1,0 +1,55 @@
+"""Small statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["Summary", "summarize", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample of measurements."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} med={self.median:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    """Summary statistics of a nonempty sample."""
+    a = np.asarray(values, dtype=np.float64)
+    if a.size == 0:
+        raise ReproError("cannot summarize an empty sample")
+    return Summary(
+        n=int(a.size),
+        mean=float(a.mean()),
+        std=float(a.std(ddof=1)) if a.size > 1 else 0.0,
+        minimum=float(a.min()),
+        median=float(np.median(a)),
+        maximum=float(a.max()),
+    )
+
+
+def geometric_mean(values: Sequence[float] | np.ndarray) -> float:
+    """Geometric mean — the right average for ratios (speedups, slowdowns)."""
+    a = np.asarray(values, dtype=np.float64)
+    if a.size == 0:
+        raise ReproError("cannot average an empty sample")
+    if (a <= 0).any():
+        raise ReproError("geometric mean needs strictly positive values")
+    return float(np.exp(np.mean(np.log(a))))

@@ -1,0 +1,79 @@
+"""ASCII table rendering for experiment reports.
+
+matplotlib is unavailable offline, so every figure of the reproduction is
+regenerated as a table or text series; this module is the single formatter
+all experiments and benches share, keeping EXPERIMENTS.md and console output
+consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Floats are formatted to ``precision`` decimals; booleans as yes/no.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header width")
+    cells = [[_cell(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """A text 'line plot': one bar of ``#`` per point, scaled to ``width``.
+
+    Used to render figure-shaped results (ratio vs m, etc.) in a terminal.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not ys:
+        return title or ""
+    top = max(ys)
+    lines = []
+    if title:
+        lines.append(title)
+    xw = max(len(str(x)) for x in xs) if xs else 1
+    for x, y in zip(xs, ys):
+        bar = "#" * (int(round(width * y / top)) if top > 0 else 0)
+        lines.append(f"{str(x).rjust(xw)} | {bar} {y:.3f}")
+    lines.append(f"({x_label} vs {y_label})")
+    return "\n".join(lines)

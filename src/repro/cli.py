@@ -1,0 +1,159 @@
+"""Command-line entry point: ``krad`` / ``python -m repro``.
+
+Examples
+--------
+Run every experiment and print the reports::
+
+    krad all
+
+Run one experiment::
+
+    krad FIG3
+    krad THM6 --seed 7
+
+List what is available::
+
+    krad list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+from repro.experiments import REGISTRY, run_experiment
+
+__all__ = ["main"]
+
+_DESCRIPTIONS = {
+    "FIG1": "example 3-DAG job of Figure 1",
+    "FIG3": "makespan lower bound instance (Theorem 1 / Figure 3)",
+    "THM3": "K-RAD makespan competitiveness sweep (Theorem 3 / Lemma 2)",
+    "THM5": "mean response time, light workload (Theorem 5)",
+    "THM6": "mean response time, heavy workload (Theorem 6)",
+    "LEM4": "squashed-sum lemma randomized check (Lemma 4)",
+    "K1": "homogeneous special case: RAD 3-competitive",
+    "BASE": "K-RAD vs baseline schedulers",
+    "FAIR": "fairness on bimodal workloads (service-gap bound)",
+    "SHOP": "K-DAG model vs DAG-shop scheduling (Related Work)",
+    "ADAPT": "adaptivity vs static partitioning / gang scheduling",
+    "WKLD": "workload characterization (Table 0)",
+    "APPS": "realistic application templates under every scheduler",
+    "SENS": "ratio sensitivity in K and P (measured vs closed form)",
+    "OPT": "Theorem 3 vs the exact optimum (small instances)",
+    "RAND": "extension: randomized K-RAD vs the oblivious adversary",
+    "SPEED": "extension: performance + functional heterogeneity",
+    "FEEDBACK": "extension: A-GREEDY history-based desires",
+    "ABLATE": "ablation of K-RAD design choices",
+    "FAULT": "extension: graceful degradation under capacity faults",
+    "HUNT": "adversarial instance search vs the exact optimum",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="krad",
+        description=(
+            "Reproduction driver for 'Adaptive Scheduling of Parallel Jobs "
+            "on Functionally Heterogeneous Resources' (ICPP 2007)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'krad list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed for sweeps"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="repetitions per grid cell"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also append rendered reports to FILE",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="write --out in markdown instead of plain text",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write --out as JSON lines (one report object per line)",
+    )
+    return parser
+
+
+def _run_one(
+    experiment_id: str,
+    seed: int,
+    repeats: int | None,
+    out: str | None = None,
+    markdown: bool = False,
+    as_json: bool = False,
+) -> bool:
+    import inspect
+
+    params = inspect.signature(REGISTRY[experiment_id.upper()]).parameters
+    options = {}
+    if "seed" in params:
+        options["seed"] = seed
+    if repeats is not None and "repeats" in params:
+        options["repeats"] = repeats
+    report = run_experiment(experiment_id, **options)
+    rendered = report.render()
+    print(rendered)
+    print()
+    if out:
+        if as_json:
+            import json
+
+            payload = json.dumps(report.to_dict())
+            suffix = "\n"
+        elif markdown:
+            from repro.analysis.export import report_to_markdown
+
+            payload = report_to_markdown(report)
+            suffix = "\n\n"
+        else:
+            payload = rendered
+            suffix = "\n\n"
+        with open(out, "a", encoding="utf-8") as fh:
+            fh.write(payload + suffix)
+    return report.passed
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    target = args.experiment.upper()
+    if target == "LIST":
+        for key in sorted(REGISTRY):
+            print(f"{key:8s} {_DESCRIPTIONS.get(key, '')}")
+        return 0
+    if target == "ALL":
+        ok = True
+        for key in sorted(REGISTRY):
+            ok &= _run_one(
+                key, args.seed, args.repeats, args.out, args.markdown,
+                args.json,
+            )
+        print("ALL EXPERIMENTS PASSED" if ok else "SOME EXPERIMENTS FAILED")
+        return 0 if ok else 1
+    if target not in REGISTRY:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'krad list'",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if _run_one(
+        target, args.seed, args.repeats, args.out, args.markdown, args.json
+    ) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""K-DAG job model: coloured DAGs of unit-time tasks (paper Section 2)."""
+
+from repro.dag.kdag import KDag
+from repro.dag.analysis import DagStats, dag_stats, parallelism_profile
+from repro.dag.builders import (
+    chain,
+    diamond_mesh,
+    figure1_job,
+    fork_join,
+    independent_tasks,
+    layered_random,
+    multi_phase_fork_join,
+    pipeline,
+    random_categories,
+    series_parallel,
+)
+from repro.dag.lowerbound import (
+    LowerBoundInstance,
+    adversarial_makespan,
+    figure3_instance,
+    figure3_special_job,
+    homogeneous_lower_bound_job,
+    optimal_makespan,
+)
+
+__all__ = [
+    "KDag",
+    "DagStats",
+    "dag_stats",
+    "parallelism_profile",
+    "chain",
+    "diamond_mesh",
+    "figure1_job",
+    "fork_join",
+    "independent_tasks",
+    "layered_random",
+    "multi_phase_fork_join",
+    "pipeline",
+    "random_categories",
+    "series_parallel",
+    "LowerBoundInstance",
+    "adversarial_makespan",
+    "figure3_instance",
+    "figure3_special_job",
+    "homogeneous_lower_bound_job",
+    "optimal_makespan",
+]

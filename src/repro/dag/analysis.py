@@ -1,0 +1,89 @@
+"""K-DAG analysis: parallelism profiles and summary statistics.
+
+The *parallelism profile* of a job is its desire trajectory under unlimited
+processors — execute every ready task each step and record, per category,
+how many ran.  It is the job-side input to the light/heavy workload
+distinction of Theorems 5/6 (a profile that ever exceeds ``P_alpha``
+can force RAD's round-robin regime) and a useful workload-characterisation
+tool in its own right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.kdag import KDag
+
+__all__ = ["parallelism_profile", "DagStats", "dag_stats"]
+
+
+def parallelism_profile(dag: KDag) -> np.ndarray:
+    """The ``(span, K)`` desire matrix under unlimited processors.
+
+    Row ``t`` counts, per category, the tasks executing at step ``t + 1`` of
+    the greedy infinite-processor schedule — equivalently the vertices at
+    precedence depth ``t + 1``.  Row sums total the work; the number of rows
+    is exactly the span.
+    """
+    span = dag.span()
+    profile = np.zeros((span, dag.num_categories), dtype=np.int64)
+    if span == 0:
+        return profile
+    depth = dag.depth_from_source()
+    cats = dag.categories()
+    for v in range(dag.num_vertices):
+        profile[depth[v] - 1, cats[v]] += 1
+    return profile
+
+
+@dataclass(frozen=True)
+class DagStats:
+    """Summary statistics of one K-DAG (all derived, no new state)."""
+
+    num_vertices: int
+    num_edges: int
+    num_categories: int
+    work: tuple[int, ...]
+    span: int
+    #: T1(alpha) / T_inf — the useful-processor count per category
+    average_parallelism: tuple[float, ...]
+    #: peak instantaneous parallelism per category (profile max)
+    max_parallelism: tuple[int, ...]
+    num_sources: int
+    num_sinks: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"|V|={self.num_vertices} |E|={self.num_edges} "
+            f"work={list(self.work)} span={self.span} "
+            f"avg-par={[round(a, 2) for a in self.average_parallelism]} "
+            f"max-par={list(self.max_parallelism)}"
+        )
+
+
+def dag_stats(dag: KDag) -> DagStats:
+    """Compute :class:`DagStats` for a DAG (single pass + profile)."""
+    work = dag.work_vector()
+    span = dag.span()
+    profile = parallelism_profile(dag)
+    avg = tuple(
+        float(w) / span if span else 0.0 for w in work.tolist()
+    )
+    peak = (
+        tuple(int(x) for x in profile.max(axis=0))
+        if len(profile)
+        else tuple([0] * dag.num_categories)
+    )
+    return DagStats(
+        num_vertices=dag.num_vertices,
+        num_edges=dag.num_edges,
+        num_categories=dag.num_categories,
+        work=tuple(int(w) for w in work),
+        span=span,
+        average_parallelism=avg,
+        max_parallelism=peak,
+        num_sources=len(dag.sources()),
+        num_sinks=len(dag.sinks()),
+    )

@@ -1,0 +1,306 @@
+"""Structured K-DAG builders.
+
+Each builder returns a :class:`~repro.dag.kdag.KDag` with a documented shape.
+These are the building blocks for workloads, examples and tests; the
+adversarial Figure-3 instance has its own module
+(:mod:`repro.dag.lowerbound`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dag.kdag import KDag
+from repro.errors import CategoryError, DagError
+
+__all__ = [
+    "chain",
+    "independent_tasks",
+    "fork_join",
+    "multi_phase_fork_join",
+    "pipeline",
+    "series_parallel",
+    "diamond_mesh",
+    "layered_random",
+    "random_categories",
+    "figure1_job",
+]
+
+
+def _check_k(num_categories: int) -> int:
+    if num_categories < 1:
+        raise CategoryError(f"num_categories must be >= 1, got {num_categories}")
+    return int(num_categories)
+
+
+def random_categories(
+    length: int, num_categories: int, rng: np.random.Generator
+) -> list[int]:
+    """Uniformly random category colours, handy for randomized builders."""
+    return rng.integers(0, _check_k(num_categories), size=length).tolist()
+
+
+def chain(categories: Sequence[int], num_categories: int) -> KDag:
+    """A sequential chain: vertex ``i`` precedes vertex ``i+1``.
+
+    ``categories[i]`` colours the ``i``-th vertex, so an interleaved
+    computation/IO job is ``chain([0, 1, 0, 1, ...], 2)``.  Span equals the
+    chain length — this is the maximally sequential job shape.
+    """
+    dag = KDag(_check_k(num_categories))
+    prev = None
+    for c in categories:
+        v = dag.add_vertex(c)
+        if prev is not None:
+            dag.add_edge(prev, v)
+        prev = v
+    return dag
+
+
+def independent_tasks(counts: Sequence[int]) -> KDag:
+    """``counts[alpha]`` independent tasks per category; no edges.
+
+    The maximally parallel job shape: span is 1 (or 0 if all counts are 0).
+    """
+    dag = KDag(_check_k(len(counts)))
+    for alpha, count in enumerate(counts):
+        dag.add_vertices(alpha, int(count))
+    return dag
+
+
+def fork_join(
+    width: int,
+    body_category: int,
+    num_categories: int,
+    *,
+    fork_category: int | None = None,
+    join_category: int | None = None,
+) -> KDag:
+    """A single fork–join: fork vertex → ``width`` parallel bodies → join.
+
+    The fork and join default to the body's category; specifying different
+    categories yields the classic "serial setup on one resource, parallel
+    burst on another" shape.
+    """
+    if width < 1:
+        raise DagError(f"fork_join width must be >= 1, got {width}")
+    dag = KDag(_check_k(num_categories))
+    fc = body_category if fork_category is None else fork_category
+    jc = body_category if join_category is None else join_category
+    fork = dag.add_vertex(fc)
+    body = dag.add_vertices(body_category, width)
+    join = dag.add_vertex(jc)
+    for b in body:
+        dag.add_edge(fork, b)
+        dag.add_edge(b, join)
+    return dag
+
+
+def multi_phase_fork_join(
+    phases: Sequence[tuple[int, int]], num_categories: int
+) -> KDag:
+    """A chain of fork–join phases.
+
+    ``phases`` is a sequence of ``(category, width)`` pairs.  Phase ``i``'s
+    join feeds phase ``i+1``'s fork.  This models the ubiquitous
+    bulk-synchronous pattern where each superstep runs on one resource type
+    (e.g. compute, then I/O flush, then compute ...).
+    """
+    if not phases:
+        raise DagError("multi_phase_fork_join requires at least one phase")
+    dag = KDag(_check_k(num_categories))
+    prev_join: int | None = None
+    for category, width in phases:
+        if width < 1:
+            raise DagError(f"phase width must be >= 1, got {width}")
+        fork = dag.add_vertex(category)
+        if prev_join is not None:
+            dag.add_edge(prev_join, fork)
+        body = dag.add_vertices(category, width)
+        join = dag.add_vertex(category)
+        for b in body:
+            dag.add_edge(fork, b)
+            dag.add_edge(b, join)
+        prev_join = join
+    return dag
+
+
+def pipeline(
+    stages: Sequence[int], items: int, num_categories: int
+) -> KDag:
+    """A software pipeline: ``items`` work items flow through ``stages``.
+
+    ``stages[s]`` is the category of stage ``s``.  Vertex ``(i, s)`` (item
+    ``i`` at stage ``s``) depends on ``(i, s-1)`` (same item, previous stage)
+    and on ``(i-1, s)`` (previous item, same stage — stages are in-order).
+    This is the canonical functionally heterogeneous workload: e.g. read
+    (I/O) → transform (CPU) → write (I/O).
+    """
+    if items < 1:
+        raise DagError(f"pipeline needs >= 1 item, got {items}")
+    if not stages:
+        raise DagError("pipeline needs >= 1 stage")
+    dag = KDag(_check_k(num_categories))
+    nstages = len(stages)
+    ids = [[0] * nstages for _ in range(items)]
+    for i in range(items):
+        for s, category in enumerate(stages):
+            v = dag.add_vertex(category)
+            ids[i][s] = v
+            if s > 0:
+                dag.add_edge(ids[i][s - 1], v)
+            if i > 0:
+                dag.add_edge(ids[i - 1][s], v)
+    return dag
+
+
+def series_parallel(
+    depth: int,
+    branching: int,
+    num_categories: int,
+    rng: np.random.Generator,
+) -> KDag:
+    """A recursive series–parallel DAG with random category colours.
+
+    At each level of recursion a block is either a series composition of two
+    sub-blocks or a parallel composition of ``branching`` sub-blocks; at
+    ``depth`` 0 a block is a single vertex of random colour.  Series–parallel
+    graphs model structured (nested) parallelism such as Cilk-style
+    spawn/sync programs.
+    """
+    if depth < 0:
+        raise DagError(f"depth must be >= 0, got {depth}")
+    if branching < 1:
+        raise DagError(f"branching must be >= 1, got {branching}")
+    k = _check_k(num_categories)
+    dag = KDag(k)
+
+    def build(d: int) -> tuple[int, int]:
+        """Build a block; return its (entry, exit) vertex ids."""
+        if d == 0:
+            v = dag.add_vertex(int(rng.integers(0, k)))
+            return v, v
+        if rng.random() < 0.5:  # series composition
+            a_in, a_out = build(d - 1)
+            b_in, b_out = build(d - 1)
+            dag.add_edge(a_out, b_in)
+            return a_in, b_out
+        # parallel composition wrapped in fork/join vertices
+        fork = dag.add_vertex(int(rng.integers(0, k)))
+        outs = []
+        for _ in range(branching):
+            c_in, c_out = build(d - 1)
+            dag.add_edge(fork, c_in)
+            outs.append(c_out)
+        join = dag.add_vertex(int(rng.integers(0, k)))
+        for o in outs:
+            dag.add_edge(o, join)
+        return fork, join
+
+    build(depth)
+    return dag
+
+
+def diamond_mesh(rows: int, cols: int, num_categories: int) -> KDag:
+    """A 2-D dependency mesh (wavefront/stencil pattern).
+
+    Vertex ``(r, c)`` depends on ``(r-1, c)`` and ``(r, c-1)``; its category
+    is ``(r + c) mod K``, so successive anti-diagonals alternate categories —
+    a wavefront computation that ping-pongs between resource types.
+    """
+    if rows < 1 or cols < 1:
+        raise DagError(f"mesh needs rows, cols >= 1; got {rows}x{cols}")
+    k = _check_k(num_categories)
+    dag = KDag(k)
+    ids = [[0] * cols for _ in range(rows)]
+    for r in range(rows):
+        for c in range(cols):
+            v = dag.add_vertex((r + c) % k)
+            ids[r][c] = v
+            if r > 0:
+                dag.add_edge(ids[r - 1][c], v)
+            if c > 0:
+                dag.add_edge(ids[r][c - 1], v)
+    return dag
+
+
+def layered_random(
+    num_layers: int,
+    layer_width: int,
+    num_categories: int,
+    rng: np.random.Generator,
+    *,
+    edge_probability: float = 0.3,
+    width_jitter: bool = True,
+) -> KDag:
+    """A layered random DAG (the standard random-DAG workload model).
+
+    Layer ``l`` has ``layer_width`` vertices (uniformly jittered in
+    ``[1, layer_width]`` when ``width_jitter``), each of a random category.
+    Each vertex draws edges from the previous layer with probability
+    ``edge_probability`` and is given at least one predecessor so the layer
+    structure is respected (layer = depth).
+    """
+    if num_layers < 1 or layer_width < 1:
+        raise DagError("layered_random needs num_layers, layer_width >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise DagError(f"edge_probability must be in [0,1], got {edge_probability}")
+    k = _check_k(num_categories)
+    dag = KDag(k)
+    prev_layer: list[int] = []
+    for _ in range(num_layers):
+        width = int(rng.integers(1, layer_width + 1)) if width_jitter else layer_width
+        layer = [dag.add_vertex(int(rng.integers(0, k))) for _ in range(width)]
+        if prev_layer:
+            for v in layer:
+                linked = False
+                for u in prev_layer:
+                    if rng.random() < edge_probability:
+                        dag.add_edge(u, v)
+                        linked = True
+                if not linked:
+                    dag.add_edge(int(rng.choice(prev_layer)), v)
+        prev_layer = layer
+    return dag
+
+
+def figure1_job() -> KDag:
+    """The example 3-DAG job of the paper's Figure 1.
+
+    The published figure is schematic (exact vertex ids are not recoverable
+    from the text), so we reconstruct a faithful small 3-colour DAG with the
+    properties the figure illustrates: three task types interleaved along
+    precedence chains, with both intra- and inter-category dependencies.
+
+    Layout (category in parentheses)::
+
+        v0(0) ── v1(1) ── v3(2) ── v5(0)
+           └──── v2(1) ── v4(2) ──┘
+                    └──── v6(1) ── v7(0)
+
+    Work vector is [3, 3, 2] and the span is 4.
+    """
+    dag = KDag(3)
+    v0 = dag.add_vertex(0)
+    v1 = dag.add_vertex(1)
+    v2 = dag.add_vertex(1)
+    v3 = dag.add_vertex(2)
+    v4 = dag.add_vertex(2)
+    v5 = dag.add_vertex(0)
+    v6 = dag.add_vertex(1)
+    v7 = dag.add_vertex(0)
+    dag.add_edges(
+        [
+            (v0, v1),
+            (v0, v2),
+            (v1, v3),
+            (v2, v4),
+            (v3, v5),
+            (v4, v5),
+            (v2, v6),
+            (v6, v7),
+        ]
+    )
+    return dag

@@ -1,0 +1,203 @@
+"""The adversarial lower-bound construction of Theorem 1 / Figure 3.
+
+The paper exhibits a job set that forces *any* deterministic online
+non-clairvoyant scheduler to a makespan ratio approaching
+``K + 1 - 1/Pmax``:
+
+* ``n = m * P1 * PK`` jobs; all but one consist of a single category-1 task
+  (category 0 in our 0-based convention).
+* The special job ``Ji`` has ``K`` levels:
+
+  - level 1: one 1-task;
+  - each level ``alpha in {2..K-1}``: ``m * P_alpha * P_K`` alpha-tasks, all
+    depending on a single *designated* task of the previous level;
+  - level ``K``: ``m*P_K*(P_K - 1) + 1`` K-tasks, one of which heads a chain
+    of K-tasks of length ``m*P_K - 1``.
+
+  Its span is ``T_inf = K + m*P_K - 1``.
+
+The adversary always executes the designated (critical-path) task of a level
+*last* among that level's ready tasks, serialising the levels; the optimal
+clairvoyant scheduler executes it *first*, overlapping all levels.  In the
+simulator the adversary is realised by the ``CriticalPathLast`` execution
+policy plus placing the special job last in scheduler order, and the optimum
+by a clairvoyant scheduler with ``CriticalPathFirst``.
+
+Closed forms (proof of Theorem 1)::
+
+    T*(J)  = K + m*P_K - 1
+    T(J)  >= m*K*P_K + m*P_K - m          (worst case for any det. online alg)
+    ratio -> K + 1 - 1/P_K   as m -> inf
+
+This module also ships the classic homogeneous (K = 1) construction showing
+the matching ``2 - 1/P`` bound of Shmoys et al. / Brecht et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dag.kdag import KDag
+from repro.errors import DagError
+
+__all__ = [
+    "LowerBoundInstance",
+    "figure3_special_job",
+    "figure3_instance",
+    "homogeneous_lower_bound_job",
+    "optimal_makespan",
+    "adversarial_makespan",
+]
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """The Figure-3 job set: filler DAGs plus the special K-level job.
+
+    Attributes
+    ----------
+    dags:
+        All job DAGs.  The special job is **last** so that schedulers which
+        serve jobs in submission order (as K-RAD's queues do) realise the
+        adversarial order of the proof.
+    special_index:
+        Index of the special job within ``dags`` (always ``len(dags) - 1``).
+    m:
+        The scale parameter; the bound tightens as ``m`` grows.
+    caps:
+        Processor counts ``(P_1, ..., P_K)`` the instance was built for.
+    """
+
+    dags: tuple[KDag, ...]
+    special_index: int
+    m: int
+    caps: tuple[int, ...]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.dags)
+
+    @property
+    def optimal_makespan(self) -> int:
+        return optimal_makespan(self.m, self.caps)
+
+    @property
+    def adversarial_makespan(self) -> int:
+        return adversarial_makespan(self.m, self.caps)
+
+
+def _check_caps(caps: Sequence[int]) -> tuple[int, ...]:
+    caps = tuple(int(p) for p in caps)
+    if len(caps) < 2:
+        raise DagError(
+            "figure3 construction needs K >= 2 categories; "
+            "use homogeneous_lower_bound_job for K = 1"
+        )
+    if any(p < 1 for p in caps):
+        raise DagError(f"all processor counts must be >= 1, got {caps}")
+    if caps[-1] != max(caps):
+        raise DagError(
+            "the construction requires P_K = Pmax (paper: 'assume P_K = Pmax'); "
+            f"reorder categories so the last has the most processors: {caps}"
+        )
+    return caps
+
+
+def figure3_special_job(m: int, caps: Sequence[int]) -> KDag:
+    """Build the special K-level job ``Ji`` of Figure 3.
+
+    Vertices are added level by level; within each level the *designated*
+    critical-path vertex is created first, so its id is the smallest of its
+    level (tests rely on this determinism, the algorithms do not).
+    """
+    if m < 1:
+        raise DagError(f"m must be >= 1, got {m}")
+    caps = _check_caps(caps)
+    K = len(caps)
+    pk = caps[-1]
+    dag = KDag(K)
+
+    # Level 1: one 1-task (category 0).  It is the designated vertex.
+    designated = dag.add_vertex(0)
+
+    # Levels 2 .. K-1 (categories 1 .. K-2).
+    for alpha in range(2, K):
+        count = m * caps[alpha - 1] * pk
+        level = dag.add_vertices(alpha - 1, count)
+        for v in level:
+            dag.add_edge(designated, v)
+        designated = level[0]  # first vertex of the level is designated
+
+    # Level K (category K-1): m*PK*(PK-1) + 1 tasks, the first heading a
+    # chain of length m*PK - 1.
+    count = m * pk * (pk - 1) + 1
+    level = dag.add_vertices(K - 1, count)
+    for v in level:
+        dag.add_edge(designated, v)
+    head = level[0]
+    prev = head
+    for _ in range(m * pk - 1):
+        v = dag.add_vertex(K - 1)
+        dag.add_edge(prev, v)
+        prev = v
+    return dag
+
+
+def figure3_instance(m: int, caps: Sequence[int]) -> LowerBoundInstance:
+    """Build the full Figure-3 job set (fillers + special job, batched).
+
+    All jobs are released at time 0 (the construction is batched).  The
+    ``n - 1 = m*P_1*P_K - 1`` filler jobs each hold a single category-0 task.
+    """
+    caps = _check_caps(caps)
+    K = len(caps)
+    n = m * caps[0] * caps[-1]
+    fillers = []
+    for _ in range(n - 1):
+        d = KDag(K)
+        d.add_vertex(0)
+        fillers.append(d)
+    special = figure3_special_job(m, caps)
+    dags = tuple(fillers) + (special,)
+    return LowerBoundInstance(
+        dags=dags, special_index=len(dags) - 1, m=m, caps=caps
+    )
+
+
+def homogeneous_lower_bound_job(m: int, p: int) -> KDag:
+    """The K = 1 analogue: forces any non-clairvoyant scheduler to 2 - 1/P.
+
+    A single job with ``m*P*(P-1) + 1`` independent tasks, the first of which
+    heads a chain of length ``m*P - 1``.  The clairvoyant optimum runs the
+    chain head immediately (T* = m*P); the adversary defers it until all
+    independent tasks are done (T >= 2*m*P - m).
+    """
+    if m < 1 or p < 1:
+        raise DagError(f"m and p must be >= 1, got m={m}, p={p}")
+    dag = KDag(1)
+    tasks = dag.add_vertices(0, m * p * (p - 1) + 1)
+    prev = tasks[0]
+    for _ in range(m * p - 1):
+        v = dag.add_vertex(0)
+        dag.add_edge(prev, v)
+        prev = v
+    return dag
+
+
+def optimal_makespan(m: int, caps: Sequence[int]) -> int:
+    """``T*(J) = K + m*P_K - 1`` — the clairvoyant optimum (proof of Thm 1)."""
+    caps = _check_caps(caps)
+    return len(caps) + m * caps[-1] - 1
+
+
+def adversarial_makespan(m: int, caps: Sequence[int]) -> int:
+    """``m*K*P_K + m*P_K - m`` — the makespan the adversary forces.
+
+    This is what the proof derives for the fully serialised execution; the
+    simulated K-RAD run under the ``CriticalPathLast`` adversary matches it
+    exactly (see ``tests/test_fig3_lower_bound.py``).
+    """
+    caps = _check_caps(caps)
+    K = len(caps)
+    return m * K * caps[-1] + m * caps[-1] - m

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DagError(ReproError):
+    """Raised for structurally invalid K-DAGs (cycles, bad vertices/edges)."""
+
+
+class CategoryError(ReproError):
+    """Raised when a task/processor category index is out of range."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a scheduler produces an invalid allotment."""
+
+
+class ValidationError(ReproError):
+    """Raised when a recorded schedule violates the model of Section 2."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot make progress or exceeds its budget."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload/job-set specifications."""

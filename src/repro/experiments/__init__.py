@@ -1,0 +1,73 @@
+"""Per-theorem/figure reproduction drivers (see DESIGN.md section 4).
+
+Each module exposes ``run(**options) -> ExperimentReport``.  ``REGISTRY``
+maps experiment ids to the drivers for the CLI and the bench harness.
+``FIG1 .. BASE`` reproduce the paper; ``RAND``, ``SPEED``, ``FEEDBACK`` and
+``ABLATE`` are documented extensions (paper future work / cited related
+work / design ablations).
+"""
+
+from typing import Callable
+
+from repro.experiments import (
+    exp_ablation,
+    exp_adaptivity,
+    exp_applications,
+    exp_fairness,
+    exp_faults,
+    exp_hunt,
+    exp_baselines,
+    exp_dagshop,
+    exp_feedback,
+    exp_k1_homogeneous,
+    exp_lemma4,
+    exp_makespan,
+    exp_optimal,
+    exp_randomized,
+    exp_response_heavy,
+    exp_response_light,
+    exp_sensitivity,
+    exp_speeds,
+    exp_workloads,
+    fig1_example,
+    fig3_lower_bound,
+)
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["ExperimentReport", "REGISTRY", "run_experiment"]
+
+REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
+    # paper artefacts
+    "FIG1": fig1_example.run,
+    "FIG3": fig3_lower_bound.run,
+    "THM3": exp_makespan.run,
+    "THM5": exp_response_light.run,
+    "THM6": exp_response_heavy.run,
+    "LEM4": exp_lemma4.run,
+    "K1": exp_k1_homogeneous.run,
+    "BASE": exp_baselines.run,
+    "FAIR": exp_fairness.run,
+    "SHOP": exp_dagshop.run,
+    "ADAPT": exp_adaptivity.run,
+    "WKLD": exp_workloads.run,
+    "APPS": exp_applications.run,
+    "SENS": exp_sensitivity.run,
+    "OPT": exp_optimal.run,
+    # extensions
+    "RAND": exp_randomized.run,
+    "SPEED": exp_speeds.run,
+    "FEEDBACK": exp_feedback.run,
+    "ABLATE": exp_ablation.run,
+    "FAULT": exp_faults.run,
+    "HUNT": exp_hunt.run,
+}
+
+
+def run_experiment(experiment_id: str, **options) -> ExperimentReport:
+    """Run one registered experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[key](**options)

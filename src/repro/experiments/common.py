@@ -1,0 +1,81 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes ``run(**options) -> ExperimentReport``; the
+report carries machine-readable rows (for tests and benches) plus rendered
+text (for the CLI and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """Structured outcome of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md identifier (e.g. ``"FIG3"``, ``"THM5"``).
+    title:
+        Human-readable headline.
+    headers / rows:
+        The reproduced table.
+    checks:
+        ``description -> bool`` — guarantees verified during the run; the
+        report *passes* iff all hold.
+    notes:
+        Free-form remarks (parameters, caveats).
+    text:
+        Fully rendered report (tables + series), ready to print.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    text: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values())
+
+    def failing_checks(self) -> list[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        """The text body plus a PASS/FAIL footer."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.text:
+            lines.append(self.text)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for name, ok in self.checks.items():
+            lines.append(f"check {'PASS' if ok else 'FAIL'}: {name}")
+        lines.append(f"experiment {'PASSED' if self.passed else 'FAILED'}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (CI integration, ``krad --json``)."""
+
+        def scrub(value: Any) -> Any:
+            # numpy scalars sneak into rows; coerce to plain Python
+            if hasattr(value, "item"):
+                return value.item()
+            return value
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[scrub(v) for v in row] for row in self.rows],
+            "checks": dict(self.checks),
+            "notes": list(self.notes),
+            "passed": self.passed,
+        }

@@ -1,0 +1,149 @@
+"""ADAPT — the title claim: adaptive beats non-adaptive partitioning.
+
+The paper's lineage (McCann-Vaswani-Zahorjan's dynamic partitioning, Tucker
+& Gupta's process control) exists because static machine partitions waste
+processors the moment a job's parallelism moves.  This experiment pits
+K-RAD against the two classic non-adaptive disciplines on workloads whose
+parallelism *changes over time* (multi-phase jobs alternating wide and
+narrow phases across categories):
+
+* :class:`StaticPartition` — per-job quotas fixed at arrival;
+* :class:`GangScheduler`  — whole-machine time slices.
+
+Expected shape (checked): K-RAD wins both objectives by a clear geometric
+margin on phase-shifting workloads, because only it re-partitions when a
+job's desires move between categories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import geometric_mean
+from repro.analysis.tables import format_table
+from repro.jobs.jobset import JobSet
+from repro.jobs.phase_job import Phase, PhaseJob
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.krad import KRad
+from repro.schedulers.static import GangScheduler, StaticPartition
+from repro.sim.engine import simulate
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["run"]
+
+
+def _phase_shifting_jobs(
+    rng: np.random.Generator, k: int, n: int, pmax: int
+) -> JobSet:
+    """Jobs alternating wide bursts and narrow stretches across categories."""
+    jobs = []
+    for i in range(n):
+        phases = []
+        for p in range(int(rng.integers(2, 5))):
+            cat = int(rng.integers(0, k))
+            work = np.zeros(k, dtype=np.int64)
+            if p % 2 == 0:  # wide burst on one category
+                work[cat] = int(rng.integers(20, 60))
+                par = np.ones(k, dtype=np.int64)
+                par[cat] = pmax
+            else:  # narrow stretch on another
+                work[cat] = int(rng.integers(3, 10))
+                par = np.ones(k, dtype=np.int64)
+            phases.append(Phase(work, par))
+        jobs.append(PhaseJob(phases, job_id=i))
+    return JobSet(jobs)
+
+
+def run(
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    capacities: tuple[int, ...] = (8, 8),
+    n_jobs: int = 8,
+) -> ExperimentReport:
+    machine = KResourceMachine(capacities)
+    scheds = [
+        KRad(),
+        StaticPartition(target_jobs=max(2, n_jobs // 2)),
+        GangScheduler(),
+    ]
+    agg: dict[str, dict[str, list[float]]] = {}
+    root = np.random.SeedSequence(seed)
+    for child in root.spawn(repeats):
+        rng = np.random.default_rng(child)
+        js = _phase_shifting_jobs(
+            rng, machine.num_categories, n_jobs, machine.pmax
+        )
+        for sched in scheds:
+            r = simulate(machine, sched, js, record_trace=True)
+            from repro.sim.metrics import reallocation_volume
+
+            bucket = agg.setdefault(
+                sched.name,
+                {"makespan": [], "mean_rt": [], "churn": []},
+            )
+            bucket["makespan"].append(float(r.makespan))
+            bucket["mean_rt"].append(r.mean_response_time)
+            bucket["churn"].append(
+                reallocation_volume(r.trace)["per_step"]
+            )
+    rows = [
+        [
+            name,
+            geometric_mean(vals["makespan"]),
+            geometric_mean(vals["mean_rt"]),
+            float(np.mean(vals["churn"])),
+        ]
+        for name, vals in sorted(agg.items())
+    ]
+
+    def geo(name: str, metric: str) -> float:
+        return geometric_mean(agg[name][metric])
+
+    checks = {
+        "K-RAD makespan beats static partitioning by >= 15%": geo(
+            "k-rad", "makespan"
+        )
+        <= 0.85 * geo("static-partition", "makespan"),
+        "K-RAD makespan beats gang scheduling by >= 15%": geo(
+            "k-rad", "makespan"
+        )
+        <= 0.85 * geo("gang", "makespan"),
+        "K-RAD mean RT beats static partitioning": geo("k-rad", "mean_rt")
+        < geo("static-partition", "mean_rt"),
+        "K-RAD mean RT beats gang scheduling": geo("k-rad", "mean_rt")
+        < geo("gang", "mean_rt"),
+        # the price of adaptivity, made explicit: K-RAD reallocates more
+        # processors per step than the static policy — and the makespan
+        # wins above show it is worth paying here
+        "adaptivity costs churn (K-RAD > static per-step reallocation)": (
+            float(np.mean(agg["k-rad"]["churn"]))
+            > float(np.mean(agg["static-partition"]["churn"]))
+        ),
+    }
+    text = format_table(
+        ["scheduler", "geomean makespan", "geomean mean RT", "churn/step"],
+        rows,
+        title=(
+            f"adaptive vs non-adaptive on {capacities}, {n_jobs} "
+            f"phase-shifting jobs, {repeats} repetitions"
+        ),
+    )
+    return ExperimentReport(
+        experiment_id="ADAPT",
+        title="adaptivity vs static partitioning / gang scheduling",
+        headers=[
+            "scheduler",
+            "geomean makespan",
+            "geomean mean RT",
+            "churn/step",
+        ],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "workload: phases alternate wide bursts and narrow stretches "
+            "across categories — the case dynamic partitioning was "
+            "invented for",
+        ],
+        text=text,
+    )

@@ -1,0 +1,143 @@
+"""BASE — K-RAD against the baseline zoo across workload mixes.
+
+The paper's Related Work situates K-RAD against DEQ (space sharing only),
+round-robin (time sharing only), EQUI (oblivious splitting) and greedy FCFS.
+This experiment quantifies the trade-offs on three workload mixes:
+
+* ``narrow``  — many low-parallelism jobs (RR's home turf);
+* ``wide``    — few highly parallel jobs (DEQ's home turf);
+* ``mixed``   — the realistic blend where K-RAD's adaptivity should win on
+  *both* metrics simultaneously.
+
+The checks assert the shape the theory predicts: K-RAD is never far from the
+per-metric winner, whereas each pure baseline has a workload that hurts it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.competitive import compare_schedulers
+from repro.analysis.stats import geometric_mean
+from repro.analysis.tables import format_table
+from repro.jobs.jobset import JobSet
+from repro.jobs.phase_job import Phase, PhaseJob
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.deq import KDeq
+from repro.schedulers.equi import Equi
+from repro.schedulers.greedy import GreedyFcfs
+from repro.schedulers.krad import KRad
+from repro.schedulers.round_robin import KRoundRobin
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["run"]
+
+
+def _narrow_jobs(rng: np.random.Generator, k: int, n: int) -> JobSet:
+    """Many sequentialish jobs: parallelism 1-2, modest work."""
+    jobs = []
+    for i in range(n):
+        work = np.zeros(k, dtype=np.int64)
+        work[int(rng.integers(0, k))] = int(rng.integers(5, 20))
+        par = np.minimum(work, int(rng.integers(1, 3)))
+        jobs.append(PhaseJob([Phase(work, np.maximum(par, 1))], job_id=i))
+    return JobSet(jobs)
+
+
+def _wide_jobs(rng: np.random.Generator, k: int, n: int, pmax: int) -> JobSet:
+    """Few embarrassingly parallel jobs touching every category."""
+    jobs = []
+    for i in range(n):
+        work = rng.integers(40, 120, size=k)
+        par = rng.integers(pmax // 2 + 1, 2 * pmax, size=k)
+        jobs.append(PhaseJob([Phase(work, par)], job_id=i))
+    return JobSet(jobs)
+
+
+def _mixed_jobs(rng: np.random.Generator, k: int, n: int, pmax: int) -> JobSet:
+    jobs = []
+    for i in range(n):
+        phases = []
+        for _ in range(int(rng.integers(1, 4))):
+            work = np.where(rng.random(k) < 0.5, rng.integers(1, 40, size=k), 0)
+            if not work.any():
+                work[int(rng.integers(0, k))] = int(rng.integers(1, 40))
+            par = np.maximum(rng.integers(1, pmax + 1, size=k), 1)
+            phases.append(Phase(work, par))
+        jobs.append(PhaseJob(phases, job_id=i))
+    return JobSet(jobs)
+
+
+def run(
+    *,
+    seed: int = 0,
+    capacities: tuple[int, ...] = (8, 4),
+    repeats: int = 3,
+) -> ExperimentReport:
+    machine = KResourceMachine(capacities)
+    k, pmax = machine.num_categories, machine.pmax
+    scheds = [KRad(), KDeq(), KRoundRobin(), Equi(), GreedyFcfs()]
+    mixes = {
+        "narrow": lambda rng: _narrow_jobs(rng, k, 6 * pmax),
+        "wide": lambda rng: _wide_jobs(rng, k, max(2, pmax // 4), pmax),
+        "mixed": lambda rng: _mixed_jobs(rng, k, 3 * pmax, pmax),
+    }
+    headers = ["mix", "scheduler", "makespan_ratio", "mean_rt_ratio"]
+    rows = []
+    agg: dict[tuple[str, str], dict[str, list[float]]] = {}
+    root = np.random.SeedSequence(seed)
+    streams = root.spawn(repeats)
+    for rep in range(repeats):
+        rng = np.random.default_rng(streams[rep])
+        for mix_name, factory in mixes.items():
+            js = factory(rng)
+            comp = compare_schedulers(machine, scheds, js)
+            for sname, metrics in comp.items():
+                bucket = agg.setdefault(
+                    (mix_name, sname), {"makespan_ratio": [], "mean_rt_ratio": []}
+                )
+                bucket["makespan_ratio"].append(metrics["makespan_ratio"])
+                bucket["mean_rt_ratio"].append(metrics["mean_rt_ratio"])
+    for (mix_name, sname), metrics in agg.items():
+        rows.append(
+            [
+                mix_name,
+                sname,
+                geometric_mean(metrics["makespan_ratio"]),
+                geometric_mean(metrics["mean_rt_ratio"]),
+            ]
+        )
+    rows.sort(key=lambda r: (r[0], r[1]))
+
+    def ratio_of(mix: str, sched: str, metric_idx: int) -> float:
+        for r in rows:
+            if r[0] == mix and r[1] == sched:
+                return r[metric_idx]
+        raise KeyError((mix, sched))
+
+    checks = {}
+    for mix_name in mixes:
+        best_mk = min(ratio_of(mix_name, s.name, 2) for s in scheds)
+        best_rt = min(ratio_of(mix_name, s.name, 3) for s in scheds)
+        checks[f"{mix_name}: K-RAD makespan within 1.5x of best baseline"] = (
+            ratio_of(mix_name, "k-rad", 2) <= 1.5 * best_mk + 1e-9
+        )
+        checks[f"{mix_name}: K-RAD mean RT within 1.5x of best baseline"] = (
+            ratio_of(mix_name, "k-rad", 3) <= 1.5 * best_rt + 1e-9
+        )
+    # RR must pay in makespan on wide jobs (it never space-shares).
+    checks["wide: RR makespan worse than K-RAD"] = ratio_of(
+        "wide", "k-rr", 2
+    ) > ratio_of("wide", "k-rad", 2)
+    text = format_table(
+        headers, rows, title=f"baseline comparison on {capacities} machine"
+    )
+    return ExperimentReport(
+        experiment_id="BASE",
+        title="K-RAD vs baselines across workload mixes",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        notes=[f"{repeats} repetitions, geometric-mean ratios"],
+        text=text,
+    )

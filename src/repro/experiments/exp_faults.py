@@ -1,0 +1,117 @@
+"""FAULT — K-RAD under transient capacity loss (failure injection).
+
+The paper assumes fixed ``P_alpha``; real machines lose processors to
+failures and maintenance.  Because K-RAD re-reads capacities every step and
+keeps no capacity-dependent state beyond its queues, it degrades gracefully
+under a time-varying machine.  This experiment injects
+
+* a recurring maintenance window (one category drops to 1 processor), and
+* random per-step degradation (binomial survival of each processor),
+
+and verifies: every job still completes with a valid schedule; faults never
+*help*; and the makespan stays within the Theorem-3 ratio of the
+lower bound computed for the **worst-case (fully degraded) machine** — the
+natural conservative certificate when capacity fluctuates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.jobs import workloads
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.krad import KRad
+from repro.sim.engine import simulate
+from repro.sim.faults import RandomDegradation, periodic_outage
+from repro.theory import bounds
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    capacities: tuple[int, ...] = (8, 4),
+    n_jobs: int = 12,
+) -> ExperimentReport:
+    machine = KResourceMachine(capacities)
+    rows = []
+    checks: dict[str, bool] = {}
+    root = np.random.SeedSequence(seed)
+    agg: dict[str, list[float]] = {}
+    for rep, child in enumerate(root.spawn(repeats)):
+        rng = np.random.default_rng(child)
+        js = workloads.random_dag_jobset(
+            rng, machine.num_categories, n_jobs, size_hint=20
+        )
+        outage = periodic_outage(
+            capacities, category=0, period=10, duration=4, degraded=1
+        )
+        degradation = RandomDegradation(
+            capacities, availability=0.7, seed=seed + rep
+        )
+        scenarios = {
+            "no faults": None,
+            "periodic outage": outage,
+            "random degradation": degradation,
+        }
+        results = {}
+        for label, schedule in scenarios.items():
+            r = simulate(
+                machine, KRad(), js, capacity_schedule=schedule
+            )
+            results[label] = r
+            agg.setdefault(label, []).append(float(r.makespan))
+            checks.setdefault(f"{label}: all jobs complete", True)
+            checks[f"{label}: all jobs complete"] &= len(
+                r.completion_times
+            ) == n_jobs
+        base = results["no faults"].makespan
+        for label in ("periodic outage", "random degradation"):
+            checks.setdefault(f"{label}: never beats the healthy run", True)
+            checks[f"{label}: never beats the healthy run"] &= (
+                results[label].makespan >= base
+            )
+        # conservative certificate: the fully degraded machine
+        worst_caps = tuple(
+            min(outage(t)[a] for t in range(1, 11))
+            for a in range(machine.num_categories)
+        )
+        worst_machine = KResourceMachine(worst_caps)
+        lb_worst = bounds.makespan_lower_bound(js, worst_machine)
+        limit = bounds.theorem3_ratio(
+            machine.num_categories, max(worst_caps)
+        )
+        checks.setdefault(
+            "outage makespan within Theorem-3 ratio of degraded-machine LB",
+            True,
+        )
+        checks[
+            "outage makespan within Theorem-3 ratio of degraded-machine LB"
+        ] &= results["periodic outage"].makespan / lb_worst <= limit + 1e-9
+    for label, values in agg.items():
+        rows.append([label, float(np.mean(values))])
+    text = format_table(
+        ["scenario", "mean makespan"],
+        rows,
+        title=(
+            f"failure injection on {capacities}: outage = category 0 -> 1 "
+            "processor for 4 of every 10 steps; degradation = 70% "
+            "availability"
+        ),
+    )
+    return ExperimentReport(
+        experiment_id="FAULT",
+        title="graceful degradation under capacity faults (extension)",
+        headers=["scenario", "mean makespan"],
+        rows=rows,
+        checks=checks,
+        notes=[
+            "extension: the paper assumes fixed capacities; this records "
+            "the measured shape under faults",
+        ],
+        text=text,
+    )

@@ -1,0 +1,86 @@
+"""HUNT — adversarial instance search against the exact optimum.
+
+Randomized hill-climbing over small job sets, scoring candidates by the
+*true* competitive ratio ``T(K-RAD, adversarial order) / T*_exact``
+(exhaustive solver).  The two claims this reproduces:
+
+* **soundness** — across every candidate the search evaluates, the ratio
+  never crosses Theorem 3's ceiling (the theorem is a worst-case bound over
+  ALL instances, so a search is exactly the right stress test);
+* **tightness direction** — the search climbs far above the ~1.1 typical of
+  random instances, rediscovering chain-behind-fillers shapes akin to the
+  Figure-3 family without being told about them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hunt import hunt_adversarial_instances
+from repro.analysis.tables import format_series, format_table
+from repro.machine.machine import KResourceMachine
+from repro.theory.bounds import theorem3_ratio
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    seed: int = 0,
+    iterations: int = 400,
+    configs: tuple[tuple[int, ...], ...] = ((2, 1), (2, 2)),
+) -> ExperimentReport:
+    headers = ["caps", "evaluations", "best true ratio", "limit", "margin"]
+    rows = []
+    checks: dict[str, bool] = {}
+    blocks = []
+    for caps in configs:
+        machine = KResourceMachine(caps)
+        limit = theorem3_ratio(len(caps), max(caps))
+        result = hunt_adversarial_instances(
+            machine, seed=seed, iterations=iterations
+        )
+        rows.append(
+            [
+                str(caps),
+                result.evaluations,
+                result.best_ratio,
+                limit,
+                limit - result.best_ratio,
+            ]
+        )
+        checks[f"caps={caps}: no evaluated instance crosses Theorem 3"] = (
+            result.best_ratio <= limit + 1e-9
+        )
+        checks[f"caps={caps}: search climbs above random-instance ~1.1"] = (
+            result.best_ratio >= 1.25
+        )
+        trail = result.ratios_seen
+        stride = max(1, len(trail) // 12)
+        blocks.append(
+            format_series(
+                list(range(0, len(trail), stride)),
+                [trail[i] for i in range(0, len(trail), stride)],
+                x_label="accepted step",
+                y_label="true ratio",
+                title=f"caps={caps}: hill-climb trajectory",
+            )
+        )
+        best = result.best_jobset
+        blocks.append(
+            f"caps={caps} champion: {len(best)} jobs, work "
+            f"{best.total_work_vector().tolist()}, spans "
+            f"{best.spans().tolist()}"
+        )
+    text = "\n\n".join(
+        [format_table(headers, rows, title="adversarial instance hunt")]
+        + blocks
+    )
+    return ExperimentReport(
+        experiment_id="HUNT",
+        title="adversarial search vs the exact optimum",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        notes=[f"{iterations} mutations per config, hill-climb with plateaus"],
+        text=text,
+    )

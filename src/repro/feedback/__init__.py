@@ -1,0 +1,11 @@
+"""History-based desire estimation (two-level adaptive scheduling [12, 13]).
+
+An extension beyond the paper: RAD with A-GREEDY-style feedback desires
+instead of instantaneous parallelism, plus the waste accounting needed to
+compare the two fairly.
+"""
+
+from repro.feedback.estimator import AGreedyEstimator
+from repro.feedback.scheduler import FeedbackKRad
+
+__all__ = ["AGreedyEstimator", "FeedbackKRad"]

@@ -1,0 +1,101 @@
+"""K-RAD driven by estimated (history-based) desires.
+
+:class:`FeedbackKRad` sits between the jobs and a stock K-RAD core:
+
+1. each step, every job's reported desire is replaced by its A-GREEDY
+   estimate (gated to 0 when the job currently has no ready task in the
+   category — its own observable state, not clairvoyance);
+2. K-RAD partitions processors against the *estimates*;
+3. grants above the true instantaneous parallelism are clipped before they
+   reach the executor — the clipped processors are **wasted** (idle this
+   step), exactly the inefficiency the estimator is penalised for;
+4. the estimator observes (allotted, used, deprived) and adapts.
+
+The ``wasted`` counter quantifies the price of history-based desires; the
+FEEDBACK experiment compares it against instantaneous-parallelism K-RAD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.feedback.estimator import AGreedyEstimator
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.base import Scheduler
+from repro.schedulers.rad import RadCategoryState
+
+__all__ = ["FeedbackKRad"]
+
+
+class FeedbackKRad(Scheduler):
+    """K-RAD with A-GREEDY desire estimation instead of instantaneous
+    parallelism."""
+
+    name = "k-rad-feedback"
+
+    def __init__(
+        self,
+        quantum: int = 4,
+        responsiveness: float = 2.0,
+        utilization_threshold: float = 0.8,
+    ) -> None:
+        super().__init__()
+        self._quantum = quantum
+        self._rho = responsiveness
+        self._delta = utilization_threshold
+        self._states: list[RadCategoryState] = []
+        self._estimator = AGreedyEstimator(
+            quantum=quantum,
+            responsiveness=responsiveness,
+            utilization_threshold=utilization_threshold,
+        )
+        #: processor-steps granted above true parallelism (idle waste)
+        self.wasted = 0
+
+    def reset(self, machine: KResourceMachine) -> None:
+        super().reset(machine)
+        self._states = [
+            RadCategoryState() for _ in range(machine.num_categories)
+        ]
+        self._estimator = AGreedyEstimator(
+            quantum=self._quantum,
+            responsiveness=self._rho,
+            utilization_threshold=self._delta,
+            max_estimate=machine.pmax,
+        )
+        self.wasted = 0
+
+    def allocate(self, t, desires, jobs=None):
+        machine = self.machine
+        k = machine.num_categories
+        out: dict[int, np.ndarray] = {}  # sparse: zero rows omitted
+        alive = desires.keys()
+        for alpha, state in enumerate(self._states):
+            state.register(alive)
+            state.prune(alive)
+            estimated = {
+                jid: (
+                    self._estimator.estimate(jid, alpha)
+                    if d[alpha] > 0
+                    else 0
+                )
+                for jid, d in desires.items()
+            }
+            alloc = state.allocate(estimated, machine.capacity(alpha))
+            for jid, granted in alloc.items():
+                true_desire = int(desires[jid][alpha])
+                used = min(granted, true_desire)
+                if used:
+                    row = out.get(jid)
+                    if row is None:
+                        row = out[jid] = np.zeros(k, dtype=np.int64)
+                    row[alpha] = used
+                self.wasted += granted - used
+                self._estimator.observe(
+                    jid,
+                    alpha,
+                    allotted=granted,
+                    used=used,
+                    deprived=granted < estimated[jid],
+                )
+        return out

@@ -1,0 +1,37 @@
+"""JSON serialization of machines, DAGs, jobs and job sets."""
+
+from repro.io.trace_io import dump_trace, load_trace, trace_from_dict, trace_to_dict
+from repro.io.swf import SwfJob, jobset_from_swf, jobset_to_swf, parse_swf
+from repro.io.serialize import (
+    dag_from_dict,
+    dag_to_dict,
+    dump_jobset,
+    job_from_dict,
+    job_to_dict,
+    jobset_from_dict,
+    jobset_to_dict,
+    load_jobset,
+    machine_from_dict,
+    machine_to_dict,
+)
+
+__all__ = [
+    "SwfJob",
+    "jobset_from_swf",
+    "jobset_to_swf",
+    "parse_swf",
+    "dump_trace",
+    "load_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+    "dag_from_dict",
+    "dag_to_dict",
+    "dump_jobset",
+    "job_from_dict",
+    "job_to_dict",
+    "jobset_from_dict",
+    "jobset_to_dict",
+    "load_jobset",
+    "machine_from_dict",
+    "machine_to_dict",
+]

@@ -1,0 +1,173 @@
+"""JSON serialization for the core model objects.
+
+Workloads are valuable artefacts: an adversarial instance, a failing fuzz
+case, or a production-shaped job mix should be shareable and replayable.
+This module round-trips machines, K-DAGs, jobs (both backends) and job sets
+through plain-JSON dictionaries (no custom binary format, diffable in git).
+
+Schema versioning: every document carries ``"format"`` and ``"version"``
+keys; loaders reject unknown versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.dag.kdag import KDag
+from repro.errors import ReproError
+from repro.jobs.base import Job
+from repro.jobs.dag_job import DagJob
+from repro.jobs.jobset import JobSet
+from repro.jobs.phase_job import Phase, PhaseJob
+from repro.machine.machine import KResourceMachine
+
+__all__ = [
+    "machine_to_dict",
+    "machine_from_dict",
+    "dag_to_dict",
+    "dag_from_dict",
+    "job_to_dict",
+    "job_from_dict",
+    "jobset_to_dict",
+    "jobset_from_dict",
+    "dump_jobset",
+    "load_jobset",
+]
+
+_VERSION = 1
+
+
+def _check_header(data: dict, expected: str) -> None:
+    if not isinstance(data, dict):
+        raise ReproError(f"expected a JSON object for {expected}")
+    if data.get("format") != expected:
+        raise ReproError(
+            f"expected format {expected!r}, got {data.get('format')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise ReproError(
+            f"unsupported {expected} version {data.get('version')!r} "
+            f"(this build reads version {_VERSION})"
+        )
+
+
+# ----------------------------------------------------------------------
+# machine
+# ----------------------------------------------------------------------
+def machine_to_dict(machine: KResourceMachine) -> dict[str, Any]:
+    return {
+        "format": "machine",
+        "version": _VERSION,
+        "capacities": list(machine.capacities),
+        "names": list(machine.names),
+    }
+
+
+def machine_from_dict(data: dict[str, Any]) -> KResourceMachine:
+    _check_header(data, "machine")
+    return KResourceMachine(data["capacities"], names=data["names"])
+
+
+# ----------------------------------------------------------------------
+# K-DAG
+# ----------------------------------------------------------------------
+def dag_to_dict(dag: KDag) -> dict[str, Any]:
+    return {
+        "format": "kdag",
+        "version": _VERSION,
+        "num_categories": dag.num_categories,
+        "categories": dag.categories().tolist(),
+        "edges": [[u, v] for u, v in dag.edges()],
+    }
+
+
+def dag_from_dict(data: dict[str, Any]) -> KDag:
+    _check_header(data, "kdag")
+    dag = KDag(data["num_categories"])
+    for c in data["categories"]:
+        dag.add_vertex(int(c))
+    dag.add_edges((int(u), int(v)) for u, v in data["edges"])
+    dag.validate()
+    return dag
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+def job_to_dict(job: Job) -> dict[str, Any]:
+    """Serialise a job's *static* definition (runtime state is not saved;
+    loading always yields a fresh, unexecuted job)."""
+    base = {
+        "format": "job",
+        "version": _VERSION,
+        "job_id": job.job_id,
+        "release_time": job.release_time,
+    }
+    if isinstance(job, DagJob):
+        base["backend"] = "dag"
+        base["dag"] = dag_to_dict(job.dag)
+        return base
+    if isinstance(job, PhaseJob):
+        base["backend"] = "phase"
+        base["phases"] = [
+            {
+                "work": ph.work.tolist(),
+                "parallelism": ph.parallelism.tolist(),
+            }
+            for ph in job.phases
+        ]
+        return base
+    raise ReproError(
+        f"cannot serialise job backend {type(job).__name__}; "
+        "only DagJob and PhaseJob are supported"
+    )
+
+
+def job_from_dict(data: dict[str, Any]) -> Job:
+    _check_header(data, "job")
+    backend = data.get("backend")
+    if backend == "dag":
+        return DagJob(
+            dag_from_dict(data["dag"]),
+            job_id=int(data["job_id"]),
+            release_time=int(data["release_time"]),
+        )
+    if backend == "phase":
+        phases = [
+            Phase(ph["work"], ph["parallelism"]) for ph in data["phases"]
+        ]
+        return PhaseJob(
+            phases,
+            job_id=int(data["job_id"]),
+            release_time=int(data["release_time"]),
+        )
+    raise ReproError(f"unknown job backend {backend!r}")
+
+
+# ----------------------------------------------------------------------
+# job sets
+# ----------------------------------------------------------------------
+def jobset_to_dict(jobset: JobSet) -> dict[str, Any]:
+    return {
+        "format": "jobset",
+        "version": _VERSION,
+        "jobs": [job_to_dict(j) for j in jobset],
+    }
+
+
+def jobset_from_dict(data: dict[str, Any]) -> JobSet:
+    _check_header(data, "jobset")
+    return JobSet([job_from_dict(j) for j in data["jobs"]])
+
+
+def dump_jobset(jobset: JobSet, path: str) -> None:
+    """Write a job set to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(jobset_to_dict(jobset), fh, indent=1)
+
+
+def load_jobset(path: str) -> JobSet:
+    """Read a job set previously written by :func:`dump_jobset`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return jobset_from_dict(json.load(fh))

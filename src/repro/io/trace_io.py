@@ -1,0 +1,96 @@
+"""JSON round-trip for execution traces.
+
+A recorded :class:`~repro.sim.trace.Trace` is the full evidence of a run
+(the ``chi`` mapping of Section 2).  Persisting it lets you validate,
+render or diff a schedule long after the simulation — e.g. attach the trace
+of a surprising result to a bug report and re-validate it elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sim.trace import StepRecord, Trace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "dump_trace", "load_trace"]
+
+_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    return {
+        "format": "trace",
+        "version": _VERSION,
+        "num_categories": trace.num_categories,
+        "capacities": list(trace.capacities),
+        "steps": [
+            {
+                "t": rec.t,
+                "desires": {
+                    str(jid): np.asarray(d).tolist()
+                    for jid, d in rec.desires.items()
+                },
+                "allotments": {
+                    str(jid): np.asarray(a).tolist()
+                    for jid, a in rec.allotments.items()
+                },
+                "executed": {
+                    str(jid): [list(tasks) for tasks in per_cat]
+                    for jid, per_cat in rec.executed.items()
+                },
+                "arrivals": list(rec.arrivals),
+                "completions": list(rec.completions),
+            }
+            for rec in trace.steps
+        ],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    if not isinstance(data, dict) or data.get("format") != "trace":
+        raise ReproError("expected a trace document")
+    if data.get("version") != _VERSION:
+        raise ReproError(
+            f"unsupported trace version {data.get('version')!r}"
+        )
+    trace = Trace(
+        num_categories=int(data["num_categories"]),
+        capacities=tuple(int(c) for c in data["capacities"]),
+    )
+    for step in data["steps"]:
+        trace.append(
+            StepRecord(
+                t=int(step["t"]),
+                desires={
+                    int(jid): np.asarray(d, dtype=np.int64)
+                    for jid, d in step["desires"].items()
+                },
+                allotments={
+                    int(jid): np.asarray(a, dtype=np.int64)
+                    for jid, a in step["allotments"].items()
+                },
+                executed={
+                    int(jid): [list(map(int, tasks)) for tasks in per_cat]
+                    for jid, per_cat in step["executed"].items()
+                },
+                arrivals=tuple(int(j) for j in step["arrivals"]),
+                completions=tuple(int(j) for j in step["completions"]),
+            )
+        )
+    return trace
+
+
+def dump_trace(trace: Trace, path: str) -> None:
+    """Write a trace to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_to_dict(trace), fh)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return trace_from_dict(json.load(fh))

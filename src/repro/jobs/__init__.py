@@ -1,0 +1,42 @@
+"""Job runtime: the Job protocol, DAG/phase backends, job sets, workloads."""
+
+from repro.jobs.base import Job, UNRELEASED
+from repro.jobs.dag_job import DagJob
+from repro.jobs.jobset import JobSet
+from repro.jobs.phase_job import Phase, PhaseJob
+from repro.jobs.policies import (
+    CP_FIRST,
+    CP_LAST,
+    FIFO,
+    LIFO,
+    CriticalPathFirst,
+    CriticalPathLast,
+    ExecutionPolicy,
+    FifoOrder,
+    LifoOrder,
+    RandomOrder,
+    policy_by_name,
+)
+from repro.jobs import templates, workloads
+
+__all__ = [
+    "Job",
+    "UNRELEASED",
+    "DagJob",
+    "JobSet",
+    "Phase",
+    "PhaseJob",
+    "CP_FIRST",
+    "CP_LAST",
+    "FIFO",
+    "LIFO",
+    "CriticalPathFirst",
+    "CriticalPathLast",
+    "ExecutionPolicy",
+    "FifoOrder",
+    "LifoOrder",
+    "RandomOrder",
+    "policy_by_name",
+    "templates",
+    "workloads",
+]

@@ -1,0 +1,183 @@
+"""Execution-order policies: which ready tasks run when allotment < desire.
+
+The allotment decides *how many* processors a job receives per category; the
+execution-order policy decides *which* of the ready tasks those processors
+run.  The paper's adversary (proof of Theorem 1) is exactly such a policy:
+"the tasks of the job Ji on the critical path are always executed last among
+the ready tasks" — :class:`CriticalPathLast`.  The clairvoyant optimum runs
+them first — :class:`CriticalPathFirst`.
+
+Policies are stateless and deterministic (except :class:`RandomOrder`), so a
+single instance can be shared across jobs and simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "ExecutionPolicy",
+    "FifoOrder",
+    "LifoOrder",
+    "RandomOrder",
+    "CriticalPathFirst",
+    "CriticalPathLast",
+    "FIFO",
+    "LIFO",
+    "CP_FIRST",
+    "CP_LAST",
+    "policy_by_name",
+]
+
+
+class ExecutionPolicy(ABC):
+    """Chooses ``count`` tasks to execute out of a ready list."""
+
+    #: short name used in reports and the CLI
+    name: str = "abstract"
+
+    #: True for policies that require the depth-to-sink priority array
+    needs_priority: bool = False
+
+    @abstractmethod
+    def select(
+        self,
+        ready: list[int],
+        count: int,
+        priority: np.ndarray | None,
+        rng: np.random.Generator | None,
+    ) -> tuple[list[int], list[int]]:
+        """Split ``ready`` into ``(chosen, remaining)`` with |chosen|=count.
+
+        ``priority[v]`` is the remaining critical-path length below task
+        ``v`` (``depth_to_sink``); FIFO/LIFO/random policies ignore it.
+        ``remaining`` must preserve the relative order of unchosen tasks so
+        FIFO semantics compose across steps.
+        """
+
+    @staticmethod
+    def _check(ready: list[int], count: int) -> None:
+        if count > len(ready):
+            raise ScheduleError(
+                f"asked to execute {count} tasks but only {len(ready)} ready"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class FifoOrder(ExecutionPolicy):
+    """Oldest-ready-first (the neutral default; insertion order)."""
+
+    name = "fifo"
+
+    def select(self, ready, count, priority, rng):
+        self._check(ready, count)
+        return ready[:count], ready[count:]
+
+
+class LifoOrder(ExecutionPolicy):
+    """Newest-ready-first (depth-first flavour, like work-stealing locally)."""
+
+    name = "lifo"
+
+    def select(self, ready, count, priority, rng):
+        self._check(ready, count)
+        if count == 0:
+            return [], ready
+        return ready[-count:][::-1], ready[:-count]
+
+
+class RandomOrder(ExecutionPolicy):
+    """Uniformly random choice among ready tasks (needs an ``rng``)."""
+
+    name = "random"
+
+    def select(self, ready, count, priority, rng):
+        self._check(ready, count)
+        if rng is None:
+            raise ScheduleError("RandomOrder requires an rng")
+        if count == 0:
+            return [], ready
+        idx = rng.choice(len(ready), size=count, replace=False)
+        chosen_set = set(int(i) for i in idx)
+        chosen = [ready[i] for i in sorted(chosen_set)]
+        remaining = [v for i, v in enumerate(ready) if i not in chosen_set]
+        return chosen, remaining
+
+
+class _PriorityPolicy(ExecutionPolicy):
+    """Shared machinery for critical-path-ordered policies."""
+
+    needs_priority = True
+
+    #: +1 picks the deepest tasks first, -1 the shallowest
+    _sign: int = 1
+
+    def select(self, ready, count, priority, rng):
+        self._check(ready, count)
+        if count == 0:
+            return [], ready
+        if priority is None:
+            raise ScheduleError(
+                f"{type(self).__name__} needs a depth-to-sink priority array"
+            )
+        if count == len(ready):
+            return list(ready), []
+        # Deterministic tie-break on task id keeps runs reproducible.
+        if self._sign > 0:
+            chosen = heapq.nsmallest(count, ready, key=lambda v: (-priority[v], v))
+        else:
+            chosen = heapq.nsmallest(count, ready, key=lambda v: (priority[v], v))
+        chosen_set = set(chosen)
+        remaining = [v for v in ready if v not in chosen_set]
+        return chosen, remaining
+
+
+class CriticalPathFirst(_PriorityPolicy):
+    """Run the deepest (critical-path) tasks first — the clairvoyant hero.
+
+    On the Figure-3 instance this unblocks every level immediately, letting
+    all K categories work concurrently and achieving ``T* = K + m*P_K - 1``.
+    """
+
+    name = "cp-first"
+    _sign = 1
+
+
+class CriticalPathLast(_PriorityPolicy):
+    """Defer critical-path tasks — the Theorem-1 adversary.
+
+    Among ready tasks, always executes those with the *least* remaining
+    critical path, so the designated level-unlocking task runs last and the
+    levels serialise.
+    """
+
+    name = "cp-last"
+    _sign = -1
+
+
+FIFO = FifoOrder()
+LIFO = LifoOrder()
+CP_FIRST = CriticalPathFirst()
+CP_LAST = CriticalPathLast()
+
+_REGISTRY: dict[str, ExecutionPolicy] = {
+    p.name: p for p in (FIFO, LIFO, CP_FIRST, CP_LAST)
+}
+_REGISTRY["random"] = RandomOrder()
+
+
+def policy_by_name(name: str) -> ExecutionPolicy:
+    """Look up a policy by its short name (CLI/config convenience)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScheduleError(
+            f"unknown execution policy {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,5 @@
+"""K-resource machine model."""
+
+from repro.machine.machine import KResourceMachine, homogeneous_machine
+
+__all__ = ["KResourceMachine", "homogeneous_machine"]

@@ -1,0 +1,140 @@
+"""The K-resource machine model (paper Section 2).
+
+A machine hosts ``K`` categories of processors with ``P_alpha`` processors of
+each category ``alpha``.  A task of category ``alpha`` can only run on an
+``alpha``-processor.  Categories may carry human-readable names ("cpu",
+"vector", "io", ...) purely for reporting; all algorithms work on indices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import CategoryError
+
+__all__ = ["KResourceMachine", "homogeneous_machine"]
+
+_DEFAULT_NAMES = (
+    "cpu",
+    "vector",
+    "io",
+    "fpu",
+    "gpu",
+    "dsp",
+    "nic",
+    "crypto",
+)
+
+
+class KResourceMachine:
+    """An immutable description of a functionally heterogeneous machine.
+
+    Parameters
+    ----------
+    capacities:
+        ``P_alpha`` for each category, e.g. ``(16, 4, 2)`` for 16 CPUs,
+        4 vector units and 2 I/O processors.
+    names:
+        Optional category names (defaults to generic names).
+
+    Examples
+    --------
+    >>> mach = KResourceMachine((16, 4, 2), names=("cpu", "vector", "io"))
+    >>> mach.num_categories, mach.pmax
+    (3, 16)
+    """
+
+    __slots__ = ("_caps", "_names")
+
+    def __init__(
+        self, capacities: Sequence[int], names: Sequence[str] | None = None
+    ) -> None:
+        caps = tuple(int(p) for p in capacities)
+        if not caps:
+            raise CategoryError("a machine needs at least one category")
+        if any(p < 1 for p in caps):
+            raise CategoryError(f"every category needs >= 1 processor, got {caps}")
+        if names is None:
+            names = tuple(
+                _DEFAULT_NAMES[i] if i < len(_DEFAULT_NAMES) else f"cat{i}"
+                for i in range(len(caps))
+            )
+        else:
+            names = tuple(str(s) for s in names)
+            if len(names) != len(caps):
+                raise CategoryError(
+                    f"{len(names)} names given for {len(caps)} categories"
+                )
+            if len(set(names)) != len(names):
+                raise CategoryError(f"category names must be unique, got {names}")
+        self._caps = caps
+        self._names = names
+
+    # ------------------------------------------------------------------
+    @property
+    def num_categories(self) -> int:
+        """``K`` — the number of processor categories."""
+        return len(self._caps)
+
+    @property
+    def capacities(self) -> tuple[int, ...]:
+        """``(P_1, ..., P_K)`` as a tuple."""
+        return self._caps
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def pmax(self) -> int:
+        """``Pmax = max_alpha P_alpha`` (appears in every makespan bound)."""
+        return max(self._caps)
+
+    @property
+    def total_processors(self) -> int:
+        return sum(self._caps)
+
+    def capacity(self, category: int) -> int:
+        """``P_alpha`` for one category."""
+        if not 0 <= category < len(self._caps):
+            raise CategoryError(
+                f"category {category} out of range for K={len(self._caps)}"
+            )
+        return self._caps[category]
+
+    def capacity_vector(self) -> np.ndarray:
+        """Capacities as a length-K ``int64`` array (fresh copy)."""
+        return np.asarray(self._caps, dtype=np.int64)
+
+    def category_index(self, name: str) -> int:
+        """Resolve a category name back to its index."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise CategoryError(
+                f"unknown category {name!r}; machine has {self._names}"
+            ) from None
+
+    def __iter__(self) -> Iterator[tuple[int, str, int]]:
+        """Iterate ``(index, name, capacity)`` triples."""
+        for i, (name, cap) in enumerate(zip(self._names, self._caps)):
+            yield (i, name, cap)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KResourceMachine):
+            return NotImplemented
+        return self._caps == other._caps and self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash((self._caps, self._names))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}={p}" for _, n, p in self)
+        return f"KResourceMachine({parts})"
+
+
+def homogeneous_machine(processors: int) -> KResourceMachine:
+    """A single-category machine (the classic K = 1 setting of RAD)."""
+    return KResourceMachine((processors,), names=("cpu",))

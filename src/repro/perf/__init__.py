@@ -1,0 +1,25 @@
+"""Performance + functional heterogeneity (the paper's future-work challenge).
+
+See :mod:`repro.perf.speed_machine` for the model.  Everything here is an
+*extension* beyond the paper, clearly separated from the faithful
+reproduction in :mod:`repro.sim`.
+"""
+
+from repro.perf.bounds import (
+    job_weighted_span,
+    speed_makespan_lower_bound,
+    weighted_span,
+)
+from repro.perf.engine import SpeedSimulator, simulate_speeds
+from repro.perf.scheduler import SpeedAwareClairvoyant
+from repro.perf.speed_machine import SpeedMachine
+
+__all__ = [
+    "SpeedMachine",
+    "SpeedAwareClairvoyant",
+    "SpeedSimulator",
+    "simulate_speeds",
+    "job_weighted_span",
+    "speed_makespan_lower_bound",
+    "weighted_span",
+]

@@ -1,0 +1,80 @@
+"""Speed-aware lower bounds for the performance-heterogeneity extension.
+
+Both Section-4 bounds generalise directly:
+
+* work: category ``alpha`` delivers at most ``P_alpha * s_alpha`` units per
+  step, so ``T* >= max_alpha T1(J, alpha) / (P_alpha * s_alpha)``;
+* span: a chain must run its tasks sequentially, each alpha-task taking at
+  least ``1/s_alpha`` of a step even on a fully dedicated processor, so
+  ``T* >= max_i (r_i + weighted_span(J_i))`` where the *weighted span* is
+  the maximum over paths of ``sum 1/s_cat(v)``.
+
+These reduce to the paper's bounds at unit speeds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dag.kdag import KDag
+from repro.errors import ReproError
+from repro.jobs.base import Job
+from repro.jobs.dag_job import DagJob
+from repro.jobs.jobset import JobSet
+from repro.perf.speed_machine import SpeedMachine
+
+__all__ = ["weighted_span", "job_weighted_span", "speed_makespan_lower_bound"]
+
+
+def weighted_span(dag: KDag, speeds: Sequence[int]) -> float:
+    """Max over precedence paths of ``sum_v 1/s_category(v)``.
+
+    Computed by a single topological-order DP (insertion order is
+    topological for :class:`KDag`).  Empty DAG -> 0.
+    """
+    if len(speeds) != dag.num_categories:
+        raise ReproError(
+            f"{len(speeds)} speeds for a K={dag.num_categories} DAG"
+        )
+    inv = [1.0 / float(s) for s in speeds]
+    n = dag.num_vertices
+    if n == 0:
+        return 0.0
+    depth = np.zeros(n, dtype=np.float64)
+    for v in range(n):
+        best = 0.0
+        for u in dag.predecessors(v):
+            if depth[u] > best:
+                best = depth[u]
+        depth[v] = best + inv[dag.category(v)]
+    return float(depth.max())
+
+
+def job_weighted_span(job: Job, speeds: Sequence[int]) -> float:
+    """Weighted span of a job: exact for DAG jobs, conservative otherwise.
+
+    For :class:`PhaseJob` (no explicit DAG) we use the safe generalisation
+    ``span / max_speed`` — every chain step costs at least ``1/max_s``.
+    """
+    if isinstance(job, DagJob):
+        return weighted_span(job.dag, speeds)
+    return job.span() / float(max(speeds))
+
+
+def speed_makespan_lower_bound(jobset: JobSet, machine: SpeedMachine) -> float:
+    """The generalised Section-4 certificate on a :class:`SpeedMachine`."""
+    if jobset.num_categories != machine.num_categories:
+        raise ReproError(
+            f"job set K={jobset.num_categories} != machine "
+            f"K={machine.num_categories}"
+        )
+    work = jobset.total_work_vector().astype(np.float64)
+    throughput = machine.throughput_vector().astype(np.float64)
+    work_bound = float(np.max(work / throughput))
+    span_bound = max(
+        job.release_time + job_weighted_span(job, machine.speeds)
+        for job in jobset
+    )
+    return max(work_bound, span_bound)

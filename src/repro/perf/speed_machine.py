@@ -1,0 +1,97 @@
+"""Machines with both functional AND performance heterogeneity.
+
+The paper closes with: *"one interesting challenge is to develop scheduling
+models and algorithms that capture both functional and performance
+heterogeneity."*  This package explores that direction empirically.
+
+Model: category ``alpha`` processors all run at integer speed
+``s_alpha >= 1`` — one allotted alpha-processor performs up to ``s_alpha``
+units of alpha-work per time step, and may chain through freshly-enabled
+dependent tasks within the step (the discrete analogue of a faster clock).
+Speed 1 everywhere recovers the paper's model exactly.
+
+This is "uniform speeds within a category" — a structured slice of the
+uniformly-related-machines setting of Shmoys, Wein & Williamson, where the
+best online bound is O(log P); the experiments measure how far plain
+non-clairvoyant K-RAD (which never sees the speeds) stays from the
+speed-aware lower bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CategoryError
+from repro.machine.machine import KResourceMachine
+
+__all__ = ["SpeedMachine"]
+
+
+class SpeedMachine:
+    """A K-resource machine whose categories run at different speeds."""
+
+    __slots__ = ("_base", "_speeds")
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        speeds: Sequence[int],
+        names: Sequence[str] | None = None,
+    ) -> None:
+        self._base = KResourceMachine(capacities, names=names)
+        speeds = tuple(int(s) for s in speeds)
+        if len(speeds) != self._base.num_categories:
+            raise CategoryError(
+                f"{len(speeds)} speeds for {self._base.num_categories} "
+                "categories"
+            )
+        if any(s < 1 for s in speeds):
+            raise CategoryError(f"speeds must be >= 1, got {speeds}")
+        self._speeds = speeds
+
+    @property
+    def base(self) -> KResourceMachine:
+        """The underlying unit-speed machine (capacities/names)."""
+        return self._base
+
+    @property
+    def num_categories(self) -> int:
+        return self._base.num_categories
+
+    @property
+    def capacities(self) -> tuple[int, ...]:
+        return self._base.capacities
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._base.names
+
+    @property
+    def speeds(self) -> tuple[int, ...]:
+        return self._speeds
+
+    @property
+    def max_speed(self) -> int:
+        return max(self._speeds)
+
+    def speed(self, category: int) -> int:
+        if not 0 <= category < len(self._speeds):
+            raise CategoryError(
+                f"category {category} out of range for K={len(self._speeds)}"
+            )
+        return self._speeds[category]
+
+    def throughput_vector(self) -> np.ndarray:
+        """``P_alpha * s_alpha`` — work units per step per category."""
+        return self._base.capacity_vector() * np.asarray(
+            self._speeds, dtype=np.int64
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{n}={p}@{s}x"
+            for (_, n, p), s in zip(self._base, self._speeds)
+        )
+        return f"SpeedMachine({parts})"

@@ -1,0 +1,150 @@
+"""Scheduler interface.
+
+A scheduler maps per-job desires to per-job allotments, once per time step
+and per category, subject to the capacity ``sum_i a(Ji, alpha, t) <= P_alpha``
+and the productivity constraint ``a(Ji, alpha, t) <= d(Ji, alpha, t)``.
+
+**Non-clairvoyance is enforced by construction**: ``allocate`` receives only
+the desire vectors of released, uncompleted jobs (in arrival order) — never
+release times, work, spans or DAG structure.  Clairvoyant baselines set
+``clairvoyant = True`` and additionally receive the live job objects.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.jobs.base import Job
+from repro.machine.machine import KResourceMachine
+
+__all__ = ["Scheduler", "check_allotments"]
+
+
+class Scheduler(ABC):
+    """Base class for all allotment policies."""
+
+    #: short name used in reports, tables and the CLI
+    name: str = "abstract"
+
+    #: clairvoyant schedulers get the live job objects in ``allocate``
+    clairvoyant: bool = False
+
+    def __init__(self) -> None:
+        self._machine: KResourceMachine | None = None
+
+    @property
+    def machine(self) -> KResourceMachine:
+        if self._machine is None:
+            raise ScheduleError(
+                f"{type(self).__name__} not bound to a machine; call reset()"
+            )
+        return self._machine
+
+    def reset(self, machine: KResourceMachine) -> None:
+        """Bind to a machine and clear all per-run state.
+
+        Subclasses overriding this must call ``super().reset(machine)``.
+        """
+        self._machine = machine
+
+    def rebind(self, machine: KResourceMachine) -> None:
+        """Point at a new machine view *without* clearing state.
+
+        Used by the engine for time-varying capacities (failure injection):
+        queue orders, marks and estimates survive; only the capacities the
+        next ``allocate`` sees change.  The category count must match.
+        """
+        if (
+            self._machine is not None
+            and machine.num_categories != self._machine.num_categories
+        ):
+            raise ScheduleError(
+                "rebind cannot change the number of categories "
+                f"({self._machine.num_categories} -> {machine.num_categories})"
+            )
+        self._machine = machine
+
+    @abstractmethod
+    def allocate(
+        self,
+        t: int,
+        desires: Mapping[int, np.ndarray],
+        jobs: Mapping[int, Job] | None = None,
+    ) -> dict[int, np.ndarray]:
+        """Compute allotments for step ``t``.
+
+        Parameters
+        ----------
+        t:
+            The current time step (1-based, matching the paper).
+        desires:
+            ``job_id -> d(Ji, *, t)`` for every released, uncompleted job,
+            in arrival order.  Jobs with an all-zero desire vector still
+            appear (they exist but have no ready task this step — this can
+            not happen for DAG/phase jobs, whose uncompleted state always
+            desires something, but the interface allows it).
+        jobs:
+            Live job objects; only passed when ``self.clairvoyant``.
+
+        Returns
+        -------
+        dict
+            ``job_id -> allotment vector``; ids may be omitted (treated as
+            zero allotment).  Must satisfy the capacity and productivity
+            constraints — the engine verifies via :func:`check_allotments`.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def check_allotments(
+    machine: KResourceMachine,
+    desires: Mapping[int, np.ndarray],
+    allotments: Mapping[int, np.ndarray],
+) -> None:
+    """Verify scheduler output; raise :class:`ScheduleError` on violation.
+
+    Checks (paper Section 2): only known jobs are allotted, allotments are
+    non-negative and at most the desire, and per-category totals respect
+    ``P_alpha``.
+
+    Implementation note: this runs once per simulated step on every job, so
+    it deliberately works on plain Python ints — per-array numpy calls here
+    dominated whole-simulation profiles (see DESIGN.md performance notes).
+    """
+    k = machine.num_categories
+    totals = [0] * k
+    for job_id, alloc in allotments.items():
+        d = desires.get(job_id)
+        if d is None:
+            raise ScheduleError(f"allotment for unknown job {job_id}")
+        alloc_list = alloc.tolist() if hasattr(alloc, "tolist") else list(alloc)
+        if len(alloc_list) != k:
+            raise ScheduleError(
+                f"job {job_id}: allotment length {len(alloc_list)}, "
+                f"expected {k}"
+            )
+        d_list = d.tolist() if hasattr(d, "tolist") else list(d)
+        for alpha in range(k):
+            a = alloc_list[alpha]
+            if a < 0:
+                raise ScheduleError(
+                    f"job {job_id}: negative allotment {alloc_list}"
+                )
+            if a > d_list[alpha]:
+                raise ScheduleError(
+                    f"job {job_id}: allotment {alloc_list} exceeds desire "
+                    f"{d_list}"
+                )
+            totals[alpha] += a
+    for alpha, cap in enumerate(machine.capacities):
+        if totals[alpha] > cap:
+            raise ScheduleError(
+                f"total allotment {totals} exceeds capacities "
+                f"{machine.capacities}"
+            )

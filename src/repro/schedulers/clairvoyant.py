@@ -1,0 +1,72 @@
+"""Clairvoyant baselines — the "optimal scheduler S" stand-ins.
+
+The true offline optimum is NP-hard, but the paper's proofs only ever need
+two concrete clairvoyant behaviours, both implemented here:
+
+* :class:`ClairvoyantCriticalPath` — serve jobs by *largest remaining
+  critical path* first, full desire, greedy per category.  Paired with the
+  ``CriticalPathFirst`` execution policy this realises the optimal schedule
+  the Theorem-1 proof describes for the Figure-3 instance (it unblocks every
+  level of the special job immediately and perfectly overlaps the chain with
+  the residual level-K work), and is a strong T* stand-in elsewhere.
+
+* :class:`ClairvoyantSrpt` — smallest *remaining total work* first, the
+  classic mean-response-time heuristic (SRPT is optimal for sequential jobs
+  on one machine); used as the clairvoyant reference in the response-time
+  benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.schedulers.base import Scheduler
+
+__all__ = ["ClairvoyantCriticalPath", "ClairvoyantSrpt"]
+
+
+class _PriorityGreedy(Scheduler):
+    """Greedy full-desire allocation in a clairvoyant priority order."""
+
+    clairvoyant = True
+
+    def _priority(self, jid: int, job) -> tuple:
+        raise NotImplementedError
+
+    def allocate(self, t, desires, jobs=None):
+        if jobs is None:
+            raise ScheduleError(
+                f"{type(self).__name__} is clairvoyant and needs job objects"
+            )
+        machine = self.machine
+        k = machine.num_categories
+        out = {jid: np.zeros(k, dtype=np.int64) for jid in desires}
+        order = sorted(desires, key=lambda jid: self._priority(jid, jobs[jid]))
+        remaining = list(machine.capacities)
+        for jid in order:
+            d = desires[jid]
+            for alpha in range(k):
+                a = min(int(d[alpha]), remaining[alpha])
+                if a > 0:
+                    out[jid][alpha] = a
+                    remaining[alpha] -= a
+        return out
+
+
+class ClairvoyantCriticalPath(_PriorityGreedy):
+    """Longest-remaining-critical-path-first, full desire."""
+
+    name = "cv-critical-path"
+
+    def _priority(self, jid, job):
+        return (-job.remaining_span(), jid)
+
+
+class ClairvoyantSrpt(_PriorityGreedy):
+    """Smallest-remaining-total-work-first, full desire."""
+
+    name = "cv-srpt"
+
+    def _priority(self, jid, job):
+        return (int(job.remaining_work_vector().sum()), jid)

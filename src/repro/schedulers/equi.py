@@ -1,0 +1,46 @@
+"""EQUI baseline: oblivious equal partitioning (Edmonds et al., STOC'97).
+
+EQUI splits each category's processors equally among its active jobs without
+looking at desires; a job that cannot use its share simply wastes it (the
+allotment is capped at the desire to respect the model, but the unused
+processors are *not* redistributed).  Edmonds et al. proved EQUI is
+``(2 + sqrt 3)``-competitive for mean response time on K = 1; the waste is
+what DEQ's desire-awareness removes, and the baseline benches quantify it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler
+
+__all__ = ["Equi"]
+
+
+class Equi(Scheduler):
+    """Equal split per category, desire-capped, no redistribution."""
+
+    name = "equi"
+
+    def allocate(self, t, desires, jobs=None):
+        machine = self.machine
+        k = machine.num_categories
+        out: dict[int, np.ndarray] = {}  # sparse: zero rows omitted
+        for alpha in range(k):
+            active = [j for j, d in desires.items() if d[alpha] > 0]
+            if not active:
+                continue
+            cap = machine.capacity(alpha)
+            share = cap // len(active)
+            extra = cap - share * len(active)
+            for idx, jid in enumerate(active):
+                # The first `extra` active jobs get the rounding surplus;
+                # with fewer jobs than processors every job gets >= 1.
+                quota = share + (1 if idx < extra else 0)
+                granted = min(quota, int(desires[jid][alpha]))
+                if granted:
+                    row = out.get(jid)
+                    if row is None:
+                        row = out[jid] = np.zeros(k, dtype=np.int64)
+                    row[alpha] = granted
+        return out

@@ -1,0 +1,40 @@
+"""Greedy first-come-first-served baseline.
+
+Serves jobs in arrival order, giving each its full desire until the category
+runs out of processors.  Maximally work-conserving and maximally unfair: a
+wide early job monopolises a category and late jobs starve until it finishes.
+Good makespan on work-bound instances, terrible mean response time — the
+opposite corner of the design space from round-robin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler
+
+__all__ = ["GreedyFcfs"]
+
+
+class GreedyFcfs(Scheduler):
+    """FCFS, full-desire-first allocation per category."""
+
+    name = "greedy-fcfs"
+
+    def allocate(self, t, desires, jobs=None):
+        machine = self.machine
+        k = machine.num_categories
+        out: dict[int, np.ndarray] = {}  # sparse: zero rows omitted
+        remaining = list(machine.capacities)
+        for jid, d in desires.items():  # arrival order
+            for alpha in range(k):
+                if remaining[alpha] <= 0:
+                    continue
+                a = min(int(d[alpha]), remaining[alpha])
+                if a > 0:
+                    row = out.get(jid)
+                    if row is None:
+                        row = out[jid] = np.zeros(k, dtype=np.int64)
+                    row[alpha] = a
+                    remaining[alpha] -= a
+        return out

@@ -1,0 +1,165 @@
+"""RAD: the per-category scheduler combining DEQ and round-robin (Figure 2).
+
+RAD watches the number of *alpha-active* jobs (non-zero alpha-desire):
+
+* ``|Q| <= P_alpha`` — space-share with DEQ;
+* ``|Q| > P_alpha`` — time-share with a batched round-robin *cycle*: every
+  step the first ``P_alpha`` unmarked active jobs each get one processor and
+  are marked; once fewer than ``P_alpha`` unmarked jobs remain, the cycle
+  closes — marked jobs are recycled to fill the idle processors, DEQ
+  partitions the final step, and all marks clear.
+
+Queue discipline: jobs enter at the back on arrival; a job served in a
+round-robin step moves to the back, so service order within and across
+cycles is FIFO — the fairness the mean-response-time analysis needs.
+
+:class:`RadCategoryState` is the reusable single-category engine;
+:class:`KRad` (in :mod:`repro.schedulers.krad`) instantiates one per
+category.  :class:`Rad` exposes the K = 1 algorithm of the authors' earlier
+work for the homogeneous experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.base import Scheduler
+from repro.schedulers.deq import deq_allocate
+
+__all__ = ["RadCategoryState", "Rad"]
+
+
+class RadCategoryState:
+    """Mark/queue state of one RAD instance (one processor category).
+
+    ``rotate`` controls the queue discipline: True (default) moves served
+    jobs to the back, making service FIFO across cycles; False keeps a
+    static order (an ablation — the RR cycle still guarantees everyone one
+    slot per cycle, but cycle-start order no longer reflects service
+    recency).
+    """
+
+    __slots__ = ("_order", "_seen", "_marked", "_rotate_enabled")
+
+    def __init__(self, rotate: bool = True) -> None:
+        self._order: list[int] = []  # FIFO service order
+        self._seen: set[int] = set()
+        self._marked: set[int] = set()  # scheduled in the current RR cycle
+        self._rotate_enabled = bool(rotate)
+
+    def register(self, job_ids) -> None:
+        """Add newly arrived jobs (in the given order) to the queue back."""
+        for jid in job_ids:
+            if jid not in self._seen:
+                self._seen.add(jid)
+                self._order.append(jid)
+
+    def prune(self, alive) -> None:
+        """Drop completed jobs (ids not in ``alive``)."""
+        if len(self._order) > len(alive):
+            self._order = [j for j in self._order if j in alive]
+            self._seen.intersection_update(alive)
+            self._marked.intersection_update(alive)
+
+    @property
+    def marked_jobs(self) -> frozenset[int]:
+        """Jobs already served in the current round-robin cycle."""
+        return frozenset(self._marked)
+
+    @property
+    def queue_order(self) -> tuple[int, ...]:
+        return tuple(self._order)
+
+    def in_rr_cycle(self) -> bool:
+        """True while a round-robin cycle is open (some job is marked)."""
+        return bool(self._marked)
+
+    def allocate(self, desires: Mapping[int, int], capacity: int) -> dict[int, int]:
+        """One step of RAD for this category (Figure 2, procedure RAD).
+
+        ``desires`` maps *every* live job id to its alpha-desire (possibly
+        zero); activity is derived here so marks survive temporary
+        inactivity, exactly as in the paper where "unmark all" only happens
+        when a cycle completes.
+        """
+        q = [j for j in self._order if desires.get(j, 0) > 0 and j not in self._marked]
+        if len(q) > capacity:
+            return self._round_robin_step(q, capacity)
+        q_prime = [j for j in self._order if desires.get(j, 0) > 0 and j in self._marked]
+        # Move min(|Q'|, P - |Q|) jobs from the front of Q' into Q, then DEQ;
+        # this closes the cycle.
+        take = min(len(q_prime), capacity - len(q))
+        q = q + q_prime[:take]
+        closing_cycle = bool(self._marked)
+        self._marked.clear()
+        if not q:
+            return {}
+        cat_desires = {j: int(desires[j]) for j in q}
+        alloc = deq_allocate(q, cat_desires, capacity)
+        if closing_cycle:
+            # Steps that close a round-robin cycle count as a service round,
+            # so served jobs rotate to the back like any RR step.  Pure DEQ
+            # steps (no cycle open) leave the order alone — under light
+            # workload RAD is then *identical* to DEQ-only scheduling, a
+            # property the differential tests pin down.
+            self._rotate([j for j, a in alloc.items() if a > 0])
+        return alloc
+
+    def _round_robin_step(self, q: list[int], capacity: int) -> dict[int, int]:
+        chosen = q[:capacity]
+        self._marked.update(chosen)
+        self._rotate(chosen)
+        return {j: 1 for j in chosen}
+
+    def _rotate(self, served) -> None:
+        """Move served jobs to the queue back, keeping service order FIFO.
+
+        Applied on every step that grants processors (both the round-robin
+        steps and the DEQ step that closes a cycle), so the first jobs of
+        the next cycle are always the longest-unserved ones.
+        """
+        if not self._rotate_enabled:
+            return
+        served_set = set(served)
+        if not served_set:
+            return
+        self._order = [j for j in self._order if j not in served_set] + [
+            j for j in self._order if j in served_set
+        ]
+
+
+class Rad(Scheduler):
+    """The homogeneous (K = 1) RAD algorithm of He, Hsu & Leiserson.
+
+    A thin wrapper around a single :class:`RadCategoryState`, provided for
+    the K = 1 experiments (3-competitive mean response time).  On a K = 1
+    machine :class:`~repro.schedulers.krad.KRad` behaves identically; this
+    class exists so the homogeneous results read naturally.
+    """
+
+    name = "rad"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state = RadCategoryState()
+
+    def reset(self, machine: KResourceMachine) -> None:
+        if machine.num_categories != 1:
+            raise ValueError(
+                f"Rad is the K=1 algorithm; got K={machine.num_categories} "
+                "(use KRad)"
+            )
+        super().reset(machine)
+        self._state = RadCategoryState()
+
+    def allocate(self, t, desires, jobs=None):
+        self._state.register(desires.keys())
+        self._state.prune(desires.keys())
+        flat = {jid: int(d[0]) for jid, d in desires.items()}
+        alloc = self._state.allocate(flat, self.machine.capacity(0))
+        return {
+            jid: np.asarray([a], dtype=np.int64) for jid, a in alloc.items()
+        }

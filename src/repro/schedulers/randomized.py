@@ -1,0 +1,88 @@
+"""Randomized K-RAD — defeating the oblivious adversary.
+
+Theorem 1's ``K + 1 - 1/Pmax`` lower bound is for *deterministic*
+schedulers: the adversary inspects the algorithm and places the critical job
+exactly where it will be served last.  Against randomized algorithms the
+paper cites the weaker ``2 - 1/sqrt(P)`` lower bound of Shmoys et al.
+(FOCS'91) for K = 1 — randomization provably helps.
+
+:class:`RandomizedKRad` is K-RAD with one change: newly arrived jobs enter
+each category's service queue at a *uniformly random position* instead of
+the back.  Against an oblivious adversary (the Figure-3 instance fixed in
+advance), the special job's first task is now served after ~n/(2*P_1) RR
+steps in expectation instead of n/P_1, cutting the expected level-1 delay in
+half; the ``exp_randomized`` experiment measures the resulting expected
+ratio sitting strictly below the deterministic forced ratio.
+
+All worst-case guarantees of K-RAD still hold per realisation (the queue
+discipline stays a valid RAD order), so this is a free win against fixed
+instances — the classic price is that a *adaptive* adversary could re-derive
+the bound against any fixed random seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.base import Scheduler
+from repro.schedulers.rad import RadCategoryState
+
+__all__ = ["RandomizedKRad"]
+
+
+class _RandomInsertState(RadCategoryState):
+    """RAD category state whose newcomers land at random queue positions."""
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__()
+        self._rng = rng
+
+    def register(self, job_ids) -> None:
+        for jid in job_ids:
+            if jid not in self._seen:
+                self._seen.add(jid)
+                pos = int(self._rng.integers(0, len(self._order) + 1))
+                self._order.insert(pos, jid)
+
+
+class RandomizedKRad(Scheduler):
+    """K-RAD with uniformly random queue insertion (seeded, reproducible)."""
+
+    name = "k-rad-random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = int(seed)
+        self._states: list[_RandomInsertState] = []
+
+    def reset(self, machine: KResourceMachine) -> None:
+        super().reset(machine)
+        root = np.random.SeedSequence(self._seed)
+        self._states = [
+            _RandomInsertState(np.random.default_rng(child))
+            for child in root.spawn(machine.num_categories)
+        ]
+
+    def category_state(self, alpha: int) -> RadCategoryState:
+        return self._states[alpha]
+
+    def allocate(self, t, desires, jobs=None):
+        machine = self.machine
+        k = machine.num_categories
+        out: dict[int, np.ndarray] = {}  # sparse: zero rows omitted
+        alive = desires.keys()
+        for alpha, state in enumerate(self._states):
+            state.register(alive)
+            state.prune(alive)
+            flat = {jid: int(d[alpha]) for jid, d in desires.items()}
+            alloc = state.allocate(flat, machine.capacity(alpha))
+            for jid, a in alloc.items():
+                if a:
+                    row = out.get(jid)
+                    if row is None:
+                        row = out[jid] = np.zeros(k, dtype=np.int64)
+                    row[alpha] = a
+        return out

@@ -1,0 +1,139 @@
+"""Non-adaptive baselines: static partitioning and gang scheduling.
+
+The paper's title claim is *adaptive* scheduling: allotments track each
+job's instantaneous parallelism.  The classic alternatives these schedulers
+implement are what DEQ was invented to beat (McCann, Vaswani & Zahorjan;
+Tucker & Gupta):
+
+* :class:`StaticPartition` — each job receives a fixed per-category quota
+  when it arrives (its share of the processors unassigned at that moment)
+  and keeps it until completion.  Quotas released by finished jobs are
+  granted to the longest-waiting quota-less jobs.  No re-partitioning ever
+  happens, so a job that stops using a category still holds its share —
+  the waste adaptive scheduling removes.
+
+* :class:`GangScheduler` — round-robin over whole-machine time slices: one
+  job at a time receives its full desire on every category.  Perfect for a
+  single wide job, hopeless utilization for many narrow ones.
+
+Both respect the model constraints (never allot above desire or capacity),
+so the gap to K-RAD is attributable purely to adaptivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.base import Scheduler
+
+__all__ = ["StaticPartition", "GangScheduler"]
+
+
+class StaticPartition(Scheduler):
+    """Fixed per-job quotas assigned at arrival, released at completion."""
+
+    name = "static-partition"
+
+    def __init__(self, target_jobs: int = 4) -> None:
+        """``target_jobs`` sets the design load: arriving jobs are granted
+        ``P_alpha // target_jobs`` processors per category (at least 1)
+        while unassigned capacity lasts."""
+        super().__init__()
+        if target_jobs < 1:
+            raise ValueError(f"target_jobs must be >= 1, got {target_jobs}")
+        self._target = int(target_jobs)
+        self._quota: dict[int, np.ndarray] = {}
+        self._waiting: list[int] = []
+        self._free: np.ndarray | None = None
+
+    def reset(self, machine: KResourceMachine) -> None:
+        super().reset(machine)
+        self._quota = {}
+        self._waiting = []
+        self._free = machine.capacity_vector()
+
+    def _try_assign(self, jid: int) -> bool:
+        """Grant a quota from free capacity; False if nothing is free."""
+        assert self._free is not None
+        caps = self.machine.capacity_vector()
+        want = np.maximum(caps // self._target, 1)
+        grant = np.minimum(want, self._free)
+        if not grant.any():
+            return False
+        self._quota[jid] = grant
+        self._free = self._free - grant
+        return True
+
+    def allocate(self, t, desires, jobs=None):
+        assert self._free is not None
+        # release quotas of completed jobs
+        for jid in list(self._quota):
+            if jid not in desires:
+                self._free = self._free + self._quota.pop(jid)
+        self._waiting = [j for j in self._waiting if j in desires]
+        # register newcomers
+        for jid in desires:
+            if jid not in self._quota and jid not in self._waiting:
+                self._waiting.append(jid)
+        # grant freed quotas FIFO
+        still_waiting = []
+        for jid in self._waiting:
+            if not self._try_assign(jid):
+                still_waiting.append(jid)
+        self._waiting = still_waiting
+
+        out: dict[int, np.ndarray] = {}
+        for jid, quota in self._quota.items():
+            granted = np.minimum(quota, desires[jid])
+            if granted.any():
+                out[jid] = granted.astype(np.int64)
+        if not out and desires:
+            # Emergency backfill: every quota is useless this step (jobs
+            # desire only categories outside their partitions), which would
+            # deadlock a strictly static policy.  Real static partitioners
+            # carry exactly this patch; grant one processor to the first
+            # job with any desire so the system stays work-conserving.
+            k = self.machine.num_categories
+            for jid, d in desires.items():
+                for alpha in range(k):
+                    if d[alpha] > 0:
+                        row = np.zeros(k, dtype=np.int64)
+                        row[alpha] = 1
+                        out[jid] = row
+                        return out
+        return out
+
+
+class GangScheduler(Scheduler):
+    """Whole-machine time slices, one job per step, FIFO rotation."""
+
+    name = "gang"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: list[int] = []
+        self._seen: set[int] = set()
+
+    def reset(self, machine: KResourceMachine) -> None:
+        super().reset(machine)
+        self._order = []
+        self._seen = set()
+
+    def allocate(self, t, desires, jobs=None):
+        for jid in desires:
+            if jid not in self._seen:
+                self._seen.add(jid)
+                self._order.append(jid)
+        if len(self._order) > len(desires):
+            self._order = [j for j in self._order if j in desires]
+            self._seen.intersection_update(desires.keys())
+        if not self._order:
+            return {}
+        jid = self._order[0]
+        self._order = self._order[1:] + [jid]
+        caps = self.machine.capacity_vector()
+        granted = np.minimum(caps, desires[jid]).astype(np.int64)
+        if not granted.any():
+            return {}
+        return {jid: granted}

@@ -1,0 +1,32 @@
+"""Discrete-time K-resource simulation engine."""
+
+from repro.sim.engine import Simulator, simulate
+from repro.sim.faults import RandomDegradation, periodic_outage
+from repro.sim.instrument import AllocationRecord, RecordingScheduler
+from repro.sim.metrics import (
+    MetricsSummary,
+    reallocation_volume,
+    slowdowns,
+    summarize_result,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.trace import PlacedTask, StepRecord, Trace
+from repro.sim.validate import validate_schedule
+
+__all__ = [
+    "RandomDegradation",
+    "periodic_outage",
+    "AllocationRecord",
+    "MetricsSummary",
+    "RecordingScheduler",
+    "reallocation_volume",
+    "slowdowns",
+    "summarize_result",
+    "Simulator",
+    "simulate",
+    "SimulationResult",
+    "PlacedTask",
+    "StepRecord",
+    "Trace",
+    "validate_schedule",
+]

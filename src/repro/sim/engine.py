@@ -1,0 +1,288 @@
+"""The discrete-time simulation engine.
+
+Each 1-based time step proceeds in four phases, mirroring the paper's model
+exactly:
+
+1. **arrivals** — jobs with ``release_time < t`` become available (a job
+   released at ``r`` may first execute at step ``r + 1``, so ``|R(Jk)| =
+   r(Jk)`` as in Lemma 2);
+2. **desires** — every available, uncompleted job reports its instantaneous
+   per-category parallelism;
+3. **allotment** — the scheduler maps desires to processor counts, verified
+   against capacity and productivity constraints;
+4. **execution** — each job runs its allotted processors for one unit step;
+   the execution-order policy picks *which* ready tasks run.
+
+Idle intervals (no job available, later releases pending) are fast-forwarded
+in O(1), so sparse arrival patterns cost nothing.
+
+The engine is deterministic given (job set, scheduler, policy, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.jobs.base import Job
+from repro.jobs.jobset import JobSet
+from repro.jobs.policies import FIFO, ExecutionPolicy
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.base import Scheduler, check_allotments
+from repro.sim.results import SimulationResult
+from repro.sim.trace import StepRecord, Trace
+
+__all__ = ["Simulator", "simulate"]
+
+
+class Simulator:
+    """Runs one job set under one scheduler on one machine.
+
+    Parameters
+    ----------
+    machine, scheduler, jobset:
+        The triple under study.  The job set is executed **in place** — pass
+        ``jobset.fresh_copy()`` to keep the original reusable.
+    policy:
+        Execution-order policy (default FIFO).  ``CP_LAST`` realises the
+        Theorem-1 adversary, ``CP_FIRST`` the clairvoyant hero.
+    seed:
+        Only needed for randomised policies.
+    record_trace:
+        Keep the full schedule (memory ~ total work); required for validity
+        checking and Gantt rendering.
+    max_steps:
+        Safety valve; defaults to a generous bound derived from total work,
+        spans and releases — exceeding it means a scheduler is not making
+        progress.
+    validate:
+        Verify every allotment against the model constraints (cheap; on by
+        default).
+    on_step:
+        Optional instrumentation hook ``on_step(t, alive)`` called after
+        each step's execution with the step number and the dict of live
+        (uncompleted, pre-removal) jobs — used by the proof certifiers in
+        :mod:`repro.theory.induction` and free-form diagnostics.  The hook
+        must not mutate the jobs.
+    capacity_schedule:
+        Optional failure-injection hook ``t -> capacities``: per-step
+        processor counts (each >= 1, at most the nominal capacity, same K).
+        The scheduler is re-bound to the degraded view each step with its
+        state intact; metrics and validation use the nominal machine, so
+        outages surface as idle capacity.
+    """
+
+    def __init__(
+        self,
+        machine: KResourceMachine,
+        scheduler: Scheduler,
+        jobset: JobSet,
+        *,
+        policy: ExecutionPolicy = FIFO,
+        seed: int | None = None,
+        record_trace: bool = False,
+        max_steps: int | None = None,
+        validate: bool = True,
+        on_step=None,
+        capacity_schedule=None,
+    ) -> None:
+        if jobset.num_categories != machine.num_categories:
+            raise SimulationError(
+                f"job set K={jobset.num_categories} != machine "
+                f"K={machine.num_categories}"
+            )
+        self._machine = machine
+        self._scheduler = scheduler
+        self._jobset = jobset
+        self._policy = policy
+        self._rng = np.random.default_rng(seed)
+        self._record_trace = record_trace
+        self._validate = validate
+        self._on_step = on_step
+        self._capacity_schedule = capacity_schedule
+        if max_steps is None:
+            work = int(jobset.total_work_vector().sum())
+            span = int(jobset.spans().sum())
+            release = int(jobset.release_times().max(initial=0))
+            # Any work-conserving schedule finishes within work+span steps
+            # per job even serialised; double it for slack.
+            max_steps = 2 * (work + span + release) + 16
+        self._max_steps = int(max_steps)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute to completion and return the result.
+
+        Jobs are consumed by the run; a second ``run()`` (or passing jobs
+        that already executed) raises rather than producing a misleading
+        empty schedule — use ``jobset.fresh_copy()`` per run.
+        """
+        machine = self._machine
+        scheduler = self._scheduler
+        scheduler.reset(machine)
+        jobs = self._jobset.jobs
+        already_done = [j.job_id for j in jobs if j.is_complete]
+        if already_done:
+            raise SimulationError(
+                f"jobs {already_done[:5]} have already executed; simulate a "
+                "fresh copy (jobset.fresh_copy()) instead of re-running"
+            )
+        k = machine.num_categories
+
+        # Pending jobs sorted by (release, id); alive keeps arrival order.
+        pending = sorted(jobs, key=lambda j: (j.release_time, j.job_id))
+        next_pending = 0  # index into pending (avoids O(n^2) pops)
+        alive: dict[int, Job] = {}
+        completion: dict[int, int] = {}
+        release: dict[int, int] = {j.job_id: j.release_time for j in jobs}
+        busy = np.zeros(k, dtype=np.int64)
+        trace = (
+            Trace(num_categories=k, capacities=machine.capacities)
+            if self._record_trace
+            else None
+        )
+        idle_steps = 0
+        makespan = 0
+        t = 0
+
+        while next_pending < len(pending) or alive:
+            t += 1
+            if t > self._max_steps:
+                raise SimulationError(
+                    f"no completion after {self._max_steps} steps; "
+                    f"{len(alive)} jobs alive — scheduler "
+                    f"{scheduler.name!r} is not making progress"
+                )
+            # Fast-forward idle intervals: nobody alive, arrivals later.
+            if (
+                not alive
+                and next_pending < len(pending)
+                and pending[next_pending].release_time >= t
+            ):
+                skip_to = pending[next_pending].release_time + 1
+                idle_steps += skip_to - t
+                t = skip_to
+            arrivals: list[int] = []
+            while (
+                next_pending < len(pending)
+                and pending[next_pending].release_time < t
+            ):
+                job = pending[next_pending]
+                next_pending += 1
+                alive[job.job_id] = job
+                arrivals.append(job.job_id)
+
+            step_machine = machine
+            if self._capacity_schedule is not None:
+                caps_t = tuple(int(c) for c in self._capacity_schedule(t))
+                if any(
+                    not 1 <= c <= nominal
+                    for c, nominal in zip(caps_t, machine.capacities)
+                ) or len(caps_t) != machine.num_categories:
+                    raise SimulationError(
+                        f"capacity schedule at t={t} returned {caps_t}; "
+                        f"need {machine.num_categories} values in "
+                        f"[1, nominal {machine.capacities}]"
+                    )
+                if caps_t != machine.capacities:
+                    step_machine = KResourceMachine(
+                        caps_t, names=machine.names
+                    )
+                scheduler.rebind(step_machine)
+
+            desires = {jid: job.desire_vector() for jid, job in alive.items()}
+            allotments = scheduler.allocate(
+                t, desires, jobs=alive if scheduler.clairvoyant else None
+            )
+            if self._validate:
+                check_allotments(step_machine, desires, allotments)
+
+            executed: dict[int, list[list[int]]] = {}
+            progress = 0
+            for jid, alloc in allotments.items():
+                alloc = np.asarray(alloc, dtype=np.int64)
+                if not alloc.any():
+                    continue
+                executed[jid] = alive[jid].execute(alloc, self._policy, self._rng)
+                busy += alloc
+                progress += int(alloc.sum())
+            if progress == 0 and alive:
+                raise SimulationError(
+                    f"step {t}: scheduler {scheduler.name!r} executed nothing "
+                    f"while {len(alive)} jobs are active — not work-conserving"
+                )
+
+            if self._on_step is not None:
+                self._on_step(t, alive)
+
+            completions: list[int] = []
+            for jid in list(alive):
+                if alive[jid].is_complete:
+                    alive[jid].completion_time = t
+                    completion[jid] = t
+                    completions.append(jid)
+                    del alive[jid]
+            if completions:
+                makespan = t
+
+            if trace is not None:
+                trace.append(
+                    StepRecord(
+                        t=t,
+                        desires=desires,
+                        allotments={
+                            jid: np.asarray(a, dtype=np.int64)
+                            for jid, a in allotments.items()
+                        },
+                        executed=executed,
+                        arrivals=tuple(arrivals),
+                        completions=tuple(completions),
+                    )
+                )
+
+        return SimulationResult(
+            scheduler_name=scheduler.name,
+            num_jobs=len(jobs),
+            capacities=machine.capacities,
+            makespan=makespan,
+            completion_times=completion,
+            release_times=release,
+            idle_steps=idle_steps,
+            busy=busy,
+            trace=trace,
+        )
+
+
+def simulate(
+    machine: KResourceMachine,
+    scheduler: Scheduler,
+    jobset: JobSet,
+    *,
+    policy: ExecutionPolicy = FIFO,
+    seed: int | None = None,
+    record_trace: bool = False,
+    max_steps: int | None = None,
+    validate: bool = True,
+    fresh: bool = True,
+    capacity_schedule=None,
+) -> SimulationResult:
+    """One-call convenience: run ``jobset`` under ``scheduler``.
+
+    With ``fresh=True`` (default) the job set is copied first, so the same
+    ``JobSet`` can be fed to several schedulers for comparison.
+    """
+    if fresh:
+        jobset = jobset.fresh_copy()
+    return Simulator(
+        machine,
+        scheduler,
+        jobset,
+        policy=policy,
+        seed=seed,
+        record_trace=record_trace,
+        max_steps=max_steps,
+        validate=validate,
+        capacity_schedule=capacity_schedule,
+    ).run()

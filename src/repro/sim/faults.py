@@ -1,0 +1,93 @@
+"""Capacity-schedule generators for failure injection.
+
+A *capacity schedule* maps a step number to the per-category processor
+counts actually available that step (maintenance windows, transient
+failures, co-tenant pressure).  The engine re-binds the scheduler to the
+degraded view each step (state intact), so these compose with every
+scheduler in the repository.
+
+All generators are deterministic functions of ``t`` (random ones derive
+per-step RNGs from a seed), so runs remain exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["periodic_outage", "RandomDegradation"]
+
+
+def periodic_outage(
+    nominal: Sequence[int],
+    category: int,
+    *,
+    period: int,
+    duration: int,
+    degraded: int = 1,
+):
+    """Every ``period`` steps, ``category`` drops to ``degraded`` processors
+    for ``duration`` steps (a recurring maintenance window).
+
+    Returns a schedule callable for ``Simulator(capacity_schedule=...)``.
+    """
+    nominal = tuple(int(c) for c in nominal)
+    if not 0 <= category < len(nominal):
+        raise SimulationError(
+            f"category {category} out of range for {len(nominal)} categories"
+        )
+    if period < 1 or duration < 0 or duration > period:
+        raise SimulationError(
+            f"need 1 <= duration <= period; got period={period}, "
+            f"duration={duration}"
+        )
+    if not 1 <= degraded <= nominal[category]:
+        raise SimulationError(
+            f"degraded capacity {degraded} must be in [1, "
+            f"{nominal[category]}]"
+        )
+
+    def schedule(t: int) -> tuple[int, ...]:
+        caps = list(nominal)
+        if (t - 1) % period < duration:
+            caps[category] = degraded
+        return tuple(caps)
+
+    return schedule
+
+
+class RandomDegradation:
+    """Each step, each category independently keeps a binomial fraction of
+    its processors (at least 1) with survival probability ``availability``.
+
+    Deterministic given ``seed``: the step's draw comes from a per-step
+    child RNG, so the schedule is a pure function of ``t`` no matter the
+    call order.
+    """
+
+    def __init__(
+        self,
+        nominal: Sequence[int],
+        *,
+        availability: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        self.nominal = tuple(int(c) for c in nominal)
+        if not 0.0 < availability <= 1.0:
+            raise SimulationError(
+                f"availability must be in (0, 1], got {availability}"
+            )
+        self.availability = float(availability)
+        self.seed = int(seed)
+
+    def __call__(self, t: int) -> tuple[int, ...]:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(self.seed, int(t)))
+        )
+        return tuple(
+            max(1, int(rng.binomial(c, self.availability)))
+            for c in self.nominal
+        )

@@ -1,0 +1,74 @@
+"""Scheduler instrumentation: record every allocation decision.
+
+:class:`RecordingScheduler` wraps any scheduler and stores, per step, the
+desires it saw and the allotments it granted — without the memory cost of a
+full execution trace.  The fairness analysis (:mod:`repro.theory.fairness`)
+and ad-hoc debugging build on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.machine import KResourceMachine
+from repro.schedulers.base import Scheduler
+
+__all__ = ["AllocationRecord", "RecordingScheduler"]
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One step's scheduling decision."""
+
+    t: int
+    desires: dict[int, np.ndarray]
+    allotments: dict[int, np.ndarray]
+
+    def active_jobs(self, category: int) -> list[int]:
+        """Jobs that were alpha-active this step (paper definition)."""
+        return [jid for jid, d in self.desires.items() if d[category] > 0]
+
+    def served_jobs(self, category: int) -> list[int]:
+        """Jobs that received at least one alpha-processor this step."""
+        return [
+            jid
+            for jid, a in self.allotments.items()
+            if a[category] > 0
+        ]
+
+
+class RecordingScheduler(Scheduler):
+    """Transparent wrapper: delegates everything, records decisions."""
+
+    def __init__(self, inner: Scheduler) -> None:
+        super().__init__()
+        self.inner = inner
+        self.records: list[AllocationRecord] = []
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def clairvoyant(self) -> bool:  # type: ignore[override]
+        return self.inner.clairvoyant
+
+    def reset(self, machine: KResourceMachine) -> None:
+        super().reset(machine)
+        self.inner.reset(machine)
+        self.records = []
+
+    def allocate(self, t, desires, jobs=None):
+        allotments = self.inner.allocate(t, desires, jobs=jobs)
+        self.records.append(
+            AllocationRecord(
+                t=t,
+                desires={jid: np.array(d) for jid, d in desires.items()},
+                allotments={
+                    jid: np.array(a) for jid, a in allotments.items()
+                },
+            )
+        )
+        return allotments

@@ -1,0 +1,132 @@
+"""Derived scheduling metrics beyond the paper's two objectives.
+
+The paper optimises makespan and mean response time; practitioners also ask
+about *slowdown* (response time relative to the job's own critical path —
+how much the system stretched me), tail latencies, and fairness.  These are
+pure functions of a finished :class:`~repro.sim.results.SimulationResult`
+plus the original job set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.jobs.jobset import JobSet
+from repro.sim.results import SimulationResult
+from repro.theory.fairness import jain_index
+
+__all__ = [
+    "slowdowns",
+    "MetricsSummary",
+    "summarize_result",
+    "reallocation_volume",
+]
+
+
+def slowdowns(result: SimulationResult, jobset: JobSet) -> dict[int, float]:
+    """``R(Ji) / T_inf(Ji)`` per job — 1.0 means "as fast as possible".
+
+    The span is the fastest any schedule could run the job in isolation, so
+    slowdown is a dimensionless stretch factor (always >= 1 for valid
+    schedules of batched jobs; arrivals can make it exactly 1).
+    """
+    spans = {j.job_id: j.span() for j in jobset}
+    missing = set(result.completion_times) - set(spans)
+    if missing:
+        raise ReproError(f"result has jobs not in the job set: {missing}")
+    out = {}
+    for jid, rt in result.response_times().items():
+        span = spans[jid]
+        if span <= 0:
+            raise ReproError(f"job {jid} has non-positive span {span}")
+        out[jid] = rt / span
+    return out
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """One result digested into the usual reporting quantities."""
+
+    scheduler: str
+    makespan: int
+    mean_response_time: float
+    median_response_time: float
+    p95_response_time: float
+    max_response_time: int
+    mean_slowdown: float
+    max_slowdown: float
+    response_fairness: float  # Jain index over response times
+    utilization: tuple[float, ...]
+
+    def as_row(self) -> list:
+        """Row form for :func:`repro.analysis.tables.format_table`."""
+        return [
+            self.scheduler,
+            self.makespan,
+            self.mean_response_time,
+            self.p95_response_time,
+            self.mean_slowdown,
+            self.response_fairness,
+        ]
+
+    ROW_HEADERS = [
+        "scheduler",
+        "makespan",
+        "mean RT",
+        "p95 RT",
+        "mean slowdown",
+        "RT fairness",
+    ]
+
+
+def reallocation_volume(trace) -> dict[str, float]:
+    """Scheduling churn: how much the allotment map moves between steps.
+
+    Adaptivity has a practical price — reassigned processors mean context
+    switches, cache loss and migration.  This measures it from a recorded
+    trace as the summed absolute per-job, per-category allotment change
+    between consecutive steps (jobs absent from a step count as zero).
+
+    Returns ``{"total": ..., "per_step": ...}``; a perfectly static
+    schedule scores 0 after its first step.  Time-sharing schedulers (pure
+    round-robin) churn maximally; static partitioning minimally; K-RAD
+    sits between — the stability/adaptivity trade-off quantified.
+    """
+    steps = list(trace.steps)
+    if len(steps) < 2:
+        return {"total": 0.0, "per_step": 0.0}
+    total = 0.0
+    k = trace.num_categories
+    zero = np.zeros(k, dtype=np.int64)
+    for prev, cur in zip(steps, steps[1:]):
+        jids = set(prev.allotments) | set(cur.allotments)
+        for jid in jids:
+            a = np.asarray(prev.allotments.get(jid, zero))
+            b = np.asarray(cur.allotments.get(jid, zero))
+            total += float(np.abs(a - b).sum())
+    return {"total": total, "per_step": total / (len(steps) - 1)}
+
+
+def summarize_result(
+    result: SimulationResult, jobset: JobSet
+) -> MetricsSummary:
+    """Compute the full metrics digest for one run."""
+    rts = np.asarray(
+        sorted(result.response_times().values()), dtype=np.float64
+    )
+    slow = np.asarray(sorted(slowdowns(result, jobset).values()))
+    return MetricsSummary(
+        scheduler=result.scheduler_name,
+        makespan=result.makespan,
+        mean_response_time=float(rts.mean()),
+        median_response_time=float(np.median(rts)),
+        p95_response_time=float(np.percentile(rts, 95)),
+        max_response_time=int(rts.max()),
+        mean_slowdown=float(slow.mean()),
+        max_slowdown=float(slow.max()),
+        response_fairness=jain_index(rts),
+        utilization=tuple(float(u) for u in result.utilization_vector()),
+    )

@@ -1,0 +1,96 @@
+"""Simulation results and the paper's objective functions (Definitions 1-2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.trace import Trace
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    All times are 1-based steps; a job released at ``r`` may first execute
+    at step ``r + 1``, and ``response = completion - release`` (Definition 2).
+    """
+
+    scheduler_name: str
+    num_jobs: int
+    capacities: tuple[int, ...]
+    #: ``T(J)`` — the step at which the last job completed (Definition 1)
+    makespan: int
+    #: job_id -> completion step ``T(Ji)``
+    completion_times: dict[int, int]
+    #: job_id -> release step ``r(Ji)``
+    release_times: dict[int, int]
+    #: steps during which no job was available (idle intervals, Section 5)
+    idle_steps: int
+    #: per-category executed work units (for utilization)
+    busy: np.ndarray
+    #: full schedule, present when the run recorded one
+    trace: Trace | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_categories(self) -> int:
+        return len(self.capacities)
+
+    def response_time(self, job_id: int) -> int:
+        """``R(Ji) = T(Ji) - r(Ji)``."""
+        return self.completion_times[job_id] - self.release_times[job_id]
+
+    def response_times(self) -> dict[int, int]:
+        return {
+            jid: self.completion_times[jid] - self.release_times[jid]
+            for jid in self.completion_times
+        }
+
+    @property
+    def total_response_time(self) -> int:
+        """``R(J) = sum_i R(Ji)``."""
+        return sum(self.response_times().values())
+
+    @property
+    def mean_response_time(self) -> float:
+        """``R(J) / |J|`` — the paper's second objective."""
+        return self.total_response_time / self.num_jobs
+
+    def utilization(self, category: int) -> float:
+        """Fraction of ``category`` processor-steps doing useful work."""
+        if self.makespan == 0:
+            return 0.0
+        return float(self.busy[category]) / (
+            self.capacities[category] * self.makespan
+        )
+
+    def utilization_vector(self) -> np.ndarray:
+        return np.asarray(
+            [self.utilization(a) for a in range(self.num_categories)]
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        util = ", ".join(f"{u:.2f}" for u in self.utilization_vector())
+        return (
+            f"{self.scheduler_name}: makespan={self.makespan} "
+            f"mean_rt={self.mean_response_time:.2f} "
+            f"idle={self.idle_steps} util=[{util}]"
+        )
+
+    def __post_init__(self) -> None:
+        if self.makespan < 0:
+            raise SimulationError(f"negative makespan {self.makespan}")
+        if set(self.completion_times) != set(self.release_times):
+            raise SimulationError("completion/release job id sets differ")
+        for jid, ct in self.completion_times.items():
+            if ct <= self.release_times[jid]:
+                raise SimulationError(
+                    f"job {jid} completes at {ct}, not after release "
+                    f"{self.release_times[jid]}"
+                )

@@ -1,0 +1,117 @@
+"""Execution traces: the recorded schedule ``chi = (tau, pi_1, ..., pi_K)``.
+
+A trace holds, per time step, the desires the scheduler saw, the allotments
+it granted, and the task ids each job executed.  From it the Section-2
+mappings are reconstructed: ``tau`` (task -> step) and ``pi_alpha`` (task ->
+processor index), the latter by packing each step's executed tasks onto
+processors ``0..P_alpha-1`` in job order.  Traces feed the validity checker
+(:mod:`repro.sim.validate`) and the ASCII Gantt renderer (:mod:`repro.viz`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["StepRecord", "Trace", "PlacedTask"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything that happened in one time step.
+
+    Attributes
+    ----------
+    t:
+        The step number (1-based).
+    desires:
+        ``job_id -> desire vector`` as seen by the scheduler.
+    allotments:
+        ``job_id -> allotment vector`` as granted (zero vectors omitted).
+    executed:
+        ``job_id -> [per-category list of executed task ids]``.
+    arrivals / completions:
+        Job ids released into / completed at this step.
+    """
+
+    t: int
+    desires: dict[int, np.ndarray]
+    allotments: dict[int, np.ndarray]
+    executed: dict[int, list[list[int]]]
+    arrivals: tuple[int, ...] = ()
+    completions: tuple[int, ...] = ()
+
+    def executed_count(self, category: int) -> int:
+        """Units of ``category``-work done this step (all jobs)."""
+        return sum(len(tasks[category]) for tasks in self.executed.values())
+
+
+@dataclass(frozen=True)
+class PlacedTask:
+    """One task occurrence with its reconstructed processor placement."""
+
+    t: int
+    job_id: int
+    category: int
+    task_id: int
+    processor: int
+
+
+@dataclass
+class Trace:
+    """The full recorded schedule of one simulation run."""
+
+    num_categories: int
+    capacities: tuple[int, ...]
+    steps: list[StepRecord] = field(default_factory=list)
+
+    def append(self, record: StepRecord) -> None:
+        if self.steps and record.t <= self.steps[-1].t:
+            raise ValueError(
+                f"step {record.t} appended after step {self.steps[-1].t}"
+            )
+        self.steps.append(record)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        return iter(self.steps)
+
+    def placements(self) -> Iterator[PlacedTask]:
+        """Reconstruct ``pi_alpha``: pack executed tasks onto processors.
+
+        Within a step and category, tasks occupy processors in job
+        iteration order (which is arrival order) — a deterministic,
+        capacity-respecting assignment.
+        """
+        for rec in self.steps:
+            next_proc = [0] * self.num_categories
+            for job_id, per_cat in rec.executed.items():
+                for alpha, tasks in enumerate(per_cat):
+                    for task_id in tasks:
+                        yield PlacedTask(
+                            t=rec.t,
+                            job_id=job_id,
+                            category=alpha,
+                            task_id=task_id,
+                            processor=next_proc[alpha],
+                        )
+                        next_proc[alpha] += 1
+
+    def task_times(self) -> dict[tuple[int, int], int]:
+        """``tau``: map ``(job_id, task_id) -> step`` over the whole trace."""
+        tau: dict[tuple[int, int], int] = {}
+        for p in self.placements():
+            tau[(p.job_id, p.task_id)] = p.t
+        return tau
+
+    def busy_matrix(self) -> np.ndarray:
+        """``(num_steps, K)`` array of executed units per step/category."""
+        out = np.zeros((len(self.steps), self.num_categories), dtype=np.int64)
+        for i, rec in enumerate(self.steps):
+            for alpha in range(self.num_categories):
+                out[i, alpha] = rec.executed_count(alpha)
+        return out

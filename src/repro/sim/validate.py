@@ -1,0 +1,113 @@
+"""Schedule validity checking against the Section-2 model.
+
+A valid schedule ``chi = (tau, pi_1, ..., pi_K)`` must:
+
+* execute every task of every job exactly once (``tau`` total on vertices);
+* preserve precedence: ``u -> v`` implies ``tau(u) < tau(v)``;
+* run each task on a processor of its own category with at most ``P_alpha``
+  category-``alpha`` tasks per step;
+* give each (step, category, processor) slot to at most one task;
+* never execute a task before its job's release.
+
+These checks consume a recorded :class:`~repro.sim.trace.Trace` plus the
+original job set, and are run over every integration test — the engine is
+*proved* against the model on every workload we simulate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ValidationError
+from repro.jobs.dag_job import DagJob
+from repro.jobs.jobset import JobSet
+from repro.sim.trace import Trace
+
+__all__ = ["validate_schedule"]
+
+
+def validate_schedule(trace: Trace, jobset: JobSet) -> None:
+    """Raise :class:`ValidationError` unless ``trace`` is a valid schedule.
+
+    ``jobset`` must be the *original* (or a fresh copy of the) job set the
+    trace was produced from; DAG structure is read from it for the
+    precedence check.  Phase jobs have no explicit precedence edges; for
+    them the per-category capacity and uniqueness checks still apply.
+    """
+    jobs = {j.job_id: j for j in jobset}
+    k = trace.num_categories
+    caps = trace.capacities
+
+    tau: dict[tuple[int, int], int] = {}
+    slot_seen: set[tuple[int, int, int]] = set()
+    release = {jid: j.release_time for jid, j in jobs.items()}
+
+    for placed in trace.placements():
+        if placed.job_id not in jobs:
+            raise ValidationError(f"trace references unknown job {placed.job_id}")
+        if not 0 <= placed.category < k:
+            raise ValidationError(
+                f"task of job {placed.job_id} on invalid category "
+                f"{placed.category}"
+            )
+        if not 0 <= placed.processor < caps[placed.category]:
+            raise ValidationError(
+                f"step {placed.t}: processor index {placed.processor} out of "
+                f"range for category {placed.category} (P={caps[placed.category]})"
+            )
+        if placed.t <= release[placed.job_id]:
+            raise ValidationError(
+                f"job {placed.job_id} executed at step {placed.t} but was "
+                f"released at {release[placed.job_id]}"
+            )
+        key = (placed.job_id, placed.task_id)
+        if key in tau:
+            raise ValidationError(
+                f"task {key} executed twice (steps {tau[key]} and {placed.t})"
+            )
+        tau[key] = placed.t
+        slot = (placed.t, placed.category, placed.processor)
+        if slot in slot_seen:
+            raise ValidationError(
+                f"two tasks share processor slot (t={placed.t}, "
+                f"category={placed.category}, proc={placed.processor})"
+            )
+        slot_seen.add(slot)
+
+    # per-step per-category capacity (redundant with slot packing, but
+    # catches trace corruption where processor ids were reassigned)
+    per_step: dict[tuple[int, int], int] = defaultdict(int)
+    for (t, alpha, _proc) in slot_seen:
+        per_step[(t, alpha)] += 1
+    for (t, alpha), used in per_step.items():
+        if used > caps[alpha]:
+            raise ValidationError(
+                f"step {t}: {used} category-{alpha} tasks exceed P={caps[alpha]}"
+            )
+
+    # completeness, category correctness and precedence for DAG jobs
+    for jid, job in jobs.items():
+        if isinstance(job, DagJob):
+            dag = job.dag
+            for v in dag.vertices():
+                if (jid, v) not in tau:
+                    raise ValidationError(
+                        f"job {jid}: task {v} never executed"
+                    )
+            for u, v in dag.edges():
+                if tau[(jid, u)] >= tau[(jid, v)]:
+                    raise ValidationError(
+                        f"job {jid}: precedence violated — task {u} at step "
+                        f"{tau[(jid, u)]}, successor {v} at {tau[(jid, v)]}"
+                    )
+
+    # category correctness needs the per-placement category
+    for placed in trace.placements():
+        job = jobs[placed.job_id]
+        if isinstance(job, DagJob):
+            expected = job.dag.category(placed.task_id)
+            if expected != placed.category:
+                raise ValidationError(
+                    f"job {placed.job_id}: task {placed.task_id} of category "
+                    f"{expected} ran on a category-{placed.category} processor"
+                )

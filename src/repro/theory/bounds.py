@@ -1,0 +1,153 @@
+"""Lower bounds and closed-form competitive ratios (Sections 4-7).
+
+Because the true optimum ``T*`` is NP-hard, every empirical competitive
+ratio in this repository divides the measured objective by the paper's own
+*lower-bound certificates* — the same quantities the proofs compare against.
+That makes every measured ratio an **upper bound** on the true competitive
+ratio, so "measured ratio <= theorem ratio" is a sound check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.jobs.jobset import JobSet
+from repro.machine.machine import KResourceMachine
+from repro.theory.squashed import squashed_work_areas
+
+__all__ = [
+    "makespan_lower_bound",
+    "total_response_lower_bound",
+    "mean_response_lower_bound",
+    "lemma2_bound",
+    "theorem3_ratio",
+    "theorem1_ratio",
+    "theorem5_ratio",
+    "theorem5_total_rt_bound",
+    "theorem6_ratio",
+    "k1_mean_response_ratio",
+    "EDMONDS_EQUI_RATIO",
+]
+
+#: Edmonds et al. (STOC'97): EQUI is (2 + sqrt 3)-competitive for mean
+#: response time on homogeneous processors — the bound RAD's 3 improves on.
+EDMONDS_EQUI_RATIO = 2.0 + np.sqrt(3.0)
+
+
+def _check(jobset: JobSet, machine: KResourceMachine) -> None:
+    if jobset.num_categories != machine.num_categories:
+        raise ReproError(
+            f"job set K={jobset.num_categories} != machine "
+            f"K={machine.num_categories}"
+        )
+
+
+# ----------------------------------------------------------------------
+# makespan (Section 4)
+# ----------------------------------------------------------------------
+def makespan_lower_bound(jobset: JobSet, machine: KResourceMachine) -> float:
+    """``T*(J) >= max(max_i (r_i + T_inf(Ji)), max_alpha T1(J, alpha)/P_alpha)``.
+
+    The first term: no schedule can finish a job before its release plus its
+    critical path.  The second: category ``alpha``'s total work can at best
+    be spread perfectly over ``P_alpha`` processors.
+    """
+    _check(jobset, machine)
+    span_bound = jobset.max_release_plus_span()
+    work = jobset.total_work_vector()
+    caps = machine.capacity_vector()
+    work_bound = float(np.max(work / caps))
+    return max(float(span_bound), work_bound)
+
+
+def lemma2_bound(jobset: JobSet, machine: KResourceMachine) -> float:
+    """Lemma 2's makespan guarantee for K-RAD (no idle intervals)::
+
+        T(J) <= sum_alpha T1(J, alpha)/P_alpha
+                + (1 - 1/Pmax) * max_i (T_inf(Ji) + r(Ji))
+    """
+    _check(jobset, machine)
+    work = jobset.total_work_vector()
+    caps = machine.capacity_vector()
+    work_term = float(np.sum(work / caps))
+    span_term = (1.0 - 1.0 / machine.pmax) * jobset.max_release_plus_span()
+    return work_term + span_term
+
+
+def theorem1_ratio(num_categories: int, pmax: int) -> float:
+    """Theorem 1's lower bound on any deterministic online algorithm:
+    ``K + 1 - 1/Pmax``."""
+    if num_categories < 1 or pmax < 1:
+        raise ReproError(f"need K, Pmax >= 1; got {num_categories}, {pmax}")
+    return num_categories + 1.0 - 1.0 / pmax
+
+
+def theorem3_ratio(num_categories: int, pmax: int) -> float:
+    """Theorem 3's makespan competitiveness of K-RAD: ``K + 1 - 1/Pmax``.
+
+    Identical to :func:`theorem1_ratio` — K-RAD matches the lower bound and
+    is therefore optimal; both names exist so call sites read like the paper.
+    """
+    return theorem1_ratio(num_categories, pmax)
+
+
+# ----------------------------------------------------------------------
+# mean response time (Sections 6-7); batched job sets only
+# ----------------------------------------------------------------------
+def total_response_lower_bound(
+    jobset: JobSet, machine: KResourceMachine
+) -> float:
+    """``R*(J) >= max(T_inf(J), max_alpha swa(J, alpha))`` for batched sets."""
+    _check(jobset, machine)
+    if not jobset.is_batched():
+        raise ReproError(
+            "the response-time lower bounds of Section 6 apply to batched "
+            "job sets only"
+        )
+    swa = squashed_work_areas(jobset.work_matrix(), machine.capacities)
+    return max(float(jobset.aggregate_span()), float(np.max(swa)))
+
+
+def mean_response_lower_bound(
+    jobset: JobSet, machine: KResourceMachine
+) -> float:
+    """``R*(J)`` lower bound divided by ``|J|``."""
+    return total_response_lower_bound(jobset, machine) / len(jobset)
+
+
+def theorem5_total_rt_bound(
+    jobset: JobSet, machine: KResourceMachine
+) -> float:
+    """Inequality (5): under light workload K-RAD's *total* response time
+    satisfies ``R(J) <= (2 - 2/(n+1)) * sum_alpha swa(J, alpha) + T_inf(J)``."""
+    _check(jobset, machine)
+    n = len(jobset)
+    swa = squashed_work_areas(jobset.work_matrix(), machine.capacities)
+    return (2.0 - 2.0 / (n + 1)) * float(swa.sum()) + float(
+        jobset.aggregate_span()
+    )
+
+
+def theorem5_ratio(num_categories: int, num_jobs: int) -> float:
+    """Theorem 5: light-workload mean-RT competitiveness
+    ``2K + 1 - 2K/(n+1)``."""
+    if num_categories < 1 or num_jobs < 1:
+        raise ReproError(f"need K, n >= 1; got {num_categories}, {num_jobs}")
+    k, n = num_categories, num_jobs
+    return 2.0 * k + 1.0 - 2.0 * k / (n + 1)
+
+
+def theorem6_ratio(num_categories: int, num_jobs: int) -> float:
+    """Theorem 6: general batched mean-RT competitiveness
+    ``4K + 1 - 4K/(n+1)``."""
+    if num_categories < 1 or num_jobs < 1:
+        raise ReproError(f"need K, n >= 1; got {num_categories}, {num_jobs}")
+    k, n = num_categories, num_jobs
+    return 4.0 * k + 1.0 - 4.0 * k / (n + 1)
+
+
+def k1_mean_response_ratio(num_jobs: int) -> float:
+    """The K = 1 corollary: RAD is ``3 - 2/(n+1)``-competitive — under 3 for
+    every n, beating Edmonds et al.'s ``2 + sqrt 3 ~= 3.73`` for EQUI."""
+    return theorem5_ratio(1, num_jobs)

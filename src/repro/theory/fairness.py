@@ -1,0 +1,131 @@
+"""Fairness properties of the round-robin machinery (Theorem 6's engine).
+
+The heavy-workload response-time bound rests on RAD's batched round-robin
+cycle: every alpha-active job is served once per cycle, and a cycle lasts at
+most ``ceil(n/P_alpha)`` steps plus the closing DEQ step.  Hence a job that
+stays alpha-active waits at most (remainder of the current cycle) + (one
+full cycle) between services::
+
+    gap  <=  2 * ceil(n_max / P_alpha) + 2
+
+with ``n_max`` the maximum number of concurrently alpha-active jobs during
+the gap.  :func:`verify_service_bound` checks this window-by-window on a
+recorded run; the property tests drive it over random heavy workloads.
+
+:func:`jain_index` is the standard fairness index for the baseline
+comparisons (1 = perfectly even, 1/n = maximally skewed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sim.instrument import AllocationRecord
+
+__all__ = ["ServiceGap", "FairnessReport", "service_gaps", "verify_service_bound", "jain_index"]
+
+
+@dataclass(frozen=True)
+class ServiceGap:
+    """One waiting window of one job in one category."""
+
+    job_id: int
+    category: int
+    start_t: int  # first step of the window (job active, unserved)
+    length: int  # steps waited before the next service
+    max_active: int  # peak concurrently active jobs during the window
+    bound: int  # 2 * ceil(max_active / P) + 2
+
+    @property
+    def within_bound(self) -> bool:
+        return self.length <= self.bound
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """All service gaps of one category, with the verdict."""
+
+    category: int
+    gaps: tuple[ServiceGap, ...]
+    all_within_bound: bool
+    max_gap: int
+
+    def worst(self) -> ServiceGap | None:
+        return max(self.gaps, key=lambda g: g.length) if self.gaps else None
+
+
+def service_gaps(
+    records: Sequence[AllocationRecord], capacity: int, category: int
+) -> list[ServiceGap]:
+    """Extract every maximal active-but-unserved window from a recording.
+
+    A window opens when a job is alpha-active and not served, extends while
+    that remains true, and closes when the job is served (windows cut short
+    by the job going inactive or the run ending are discarded — the job was
+    not waiting on the scheduler there).
+    """
+    if capacity < 1:
+        raise ReproError(f"capacity must be >= 1, got {capacity}")
+    open_windows: dict[int, list] = {}  # jid -> [start_t, length, max_active]
+    gaps: list[ServiceGap] = []
+    for rec in records:
+        active = set(rec.active_jobs(category))
+        served = set(rec.served_jobs(category))
+        n_active = len(active)
+        for jid in list(open_windows):
+            if jid not in active:
+                del open_windows[jid]  # stopped waiting on its own
+        for jid in active:
+            if jid in served:
+                if jid in open_windows:
+                    start, length, peak = open_windows.pop(jid)
+                    gaps.append(
+                        ServiceGap(
+                            job_id=jid,
+                            category=category,
+                            start_t=start,
+                            length=length,
+                            max_active=peak,
+                            bound=2 * ceil(peak / capacity) + 2,
+                        )
+                    )
+            else:
+                if jid in open_windows:
+                    open_windows[jid][1] += 1
+                    open_windows[jid][2] = max(
+                        open_windows[jid][2], n_active
+                    )
+                else:
+                    open_windows[jid] = [rec.t, 1, n_active]
+    return gaps
+
+
+def verify_service_bound(
+    records: Sequence[AllocationRecord], capacity: int, category: int
+) -> FairnessReport:
+    """Check the RR service-gap bound on one category of a recorded run."""
+    gaps = tuple(service_gaps(records, capacity, category))
+    return FairnessReport(
+        category=category,
+        gaps=gaps,
+        all_within_bound=all(g.within_bound for g in gaps),
+        max_gap=max((g.length for g in gaps), default=0),
+    )
+
+
+def jain_index(values: Sequence[float] | np.ndarray) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` in (0, 1]."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        raise ReproError("Jain index of an empty sample")
+    if (x < 0).any():
+        raise ReproError("Jain index needs nonnegative values")
+    denom = float(x.size * np.sum(x * x))
+    if denom == 0:
+        return 1.0  # all-zero: degenerate but even
+    return float(np.sum(x) ** 2) / denom

@@ -1,0 +1,73 @@
+"""Classify a recorded run's steps into RAD's DEQ / RR regimes.
+
+Theorem 5's premise is that the schedule never leaves the DEQ regime;
+Theorem 6's analysis is about the RR regime.  Rather than trusting the
+workload construction, :func:`regime_fractions` inspects the recorded
+desires directly: a (step, category) is in the **RR regime** when the
+number of alpha-active jobs exceeds ``P_alpha`` (the exact switch condition
+of Figure 2), else in the **DEQ regime** (or idle when no job is
+alpha-active).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.machine.machine import KResourceMachine
+from repro.sim.instrument import AllocationRecord
+
+__all__ = ["RegimeReport", "regime_fractions"]
+
+
+@dataclass(frozen=True)
+class RegimeReport:
+    """Per-category step counts by regime."""
+
+    deq_steps: tuple[int, ...]
+    rr_steps: tuple[int, ...]
+    idle_steps: tuple[int, ...]
+
+    @property
+    def num_categories(self) -> int:
+        return len(self.deq_steps)
+
+    def rr_fraction(self, category: int) -> float:
+        busy = self.deq_steps[category] + self.rr_steps[category]
+        return self.rr_steps[category] / busy if busy else 0.0
+
+    def ever_rr(self) -> bool:
+        return any(self.rr_steps)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            f"cat{a}: deq={d} rr={r} idle={i}"
+            for a, (d, r, i) in enumerate(
+                zip(self.deq_steps, self.rr_steps, self.idle_steps)
+            )
+        ]
+        return "; ".join(parts)
+
+
+def regime_fractions(
+    records: Sequence[AllocationRecord], machine: KResourceMachine
+) -> RegimeReport:
+    """Classify every recorded (step, category) by RAD's switch condition."""
+    k = machine.num_categories
+    deq = [0] * k
+    rr = [0] * k
+    idle = [0] * k
+    for rec in records:
+        for alpha in range(k):
+            active = sum(
+                1 for d in rec.desires.values() if d[alpha] > 0
+            )
+            if active == 0:
+                idle[alpha] += 1
+            elif active > machine.capacity(alpha):
+                rr[alpha] += 1
+            else:
+                deq[alpha] += 1
+    return RegimeReport(
+        deq_steps=tuple(deq), rr_steps=tuple(rr), idle_steps=tuple(idle)
+    )

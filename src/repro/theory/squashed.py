@@ -1,0 +1,122 @@
+"""Squashed sums and squashed work areas (Definitions 4-5, Lemma 4).
+
+The *squashed sum* of a list ``<a_i>`` of m nonnegative numbers sorts it
+ascending and weights the i-th smallest by ``m - i + 1``::
+
+    sq-sum(<a_i>) = sum_i (m - i + 1) * a_f(i),   a_f(1) <= ... <= a_f(m)
+
+It equals the minimum over all permutations g of
+``sum_i (m - i + 1) * a_g(i)`` (Equation 4) and is the total response time
+of the work list under ideal processor-sharing — hence its role as a mean
+response time lower bound.  The *squashed alpha-work area* divides by the
+category's processor count::
+
+    swa(J, alpha) = sq-sum(<T1(Ji, alpha)>) / P_alpha
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "squashed_sum",
+    "squashed_work_area",
+    "squashed_work_areas",
+    "aggregate_span",
+    "lemma4_rhs",
+    "check_lemma4",
+]
+
+
+def squashed_sum(values: Sequence[float] | np.ndarray) -> float:
+    """``sq-sum(<a_i>)`` per Definition 4.
+
+    Accepts any nonnegative list; returns 0 for the empty list.
+    """
+    a = np.asarray(values, dtype=np.float64)
+    if a.size == 0:
+        return 0.0
+    if (a < 0).any():
+        raise ReproError(f"squashed sum needs nonnegative values, got {a.tolist()}")
+    a = np.sort(a)  # ascending
+    m = a.size
+    weights = np.arange(m, 0, -1, dtype=np.float64)  # m, m-1, ..., 1
+    return float(np.dot(weights, a))
+
+
+def squashed_work_area(
+    works: Sequence[float] | np.ndarray, capacity: int
+) -> float:
+    """``swa(J, alpha) = sq-sum(<T1(Ji, alpha)>) / P_alpha`` (Definition 5)."""
+    if capacity < 1:
+        raise ReproError(f"capacity must be >= 1, got {capacity}")
+    return squashed_sum(works) / capacity
+
+
+def squashed_work_areas(
+    work_matrix: np.ndarray, capacities: Sequence[int]
+) -> np.ndarray:
+    """``swa(J, alpha)`` for every alpha from an ``(n, K)`` work matrix."""
+    work_matrix = np.asarray(work_matrix)
+    if work_matrix.ndim != 2 or work_matrix.shape[1] != len(capacities):
+        raise ReproError(
+            f"work matrix shape {work_matrix.shape} does not match "
+            f"{len(capacities)} capacities"
+        )
+    return np.asarray(
+        [
+            squashed_work_area(work_matrix[:, alpha], p)
+            for alpha, p in enumerate(capacities)
+        ]
+    )
+
+
+def aggregate_span(spans: Sequence[int] | np.ndarray) -> int:
+    """``T_inf(J) = sum_i T_inf(Ji)`` (Definition 5)."""
+    return int(np.asarray(spans).sum())
+
+
+def lemma4_rhs(
+    a: Sequence[float] | np.ndarray,
+    s: Sequence[float] | np.ndarray,
+    h: float,
+) -> float:
+    """The right-hand side ``sq-sum(<a_i>) + P(l+1)/2`` of Lemma 4.
+
+    ``P = sum s_i`` and ``l = |{s_i = h}|``; callers must ensure
+    ``0 <= s_i <= h`` and ``l > 0`` for the lemma to apply.
+    """
+    s = np.asarray(s, dtype=np.float64)
+    big_p = float(s.sum())
+    l = int(np.count_nonzero(s == h))
+    return squashed_sum(a) + big_p * (l + 1) / 2.0
+
+
+def check_lemma4(
+    a: Sequence[float] | np.ndarray,
+    s: Sequence[float] | np.ndarray,
+    h: float,
+) -> bool:
+    """Numerically verify Lemma 4 on one instance.
+
+    With ``b_i = a_i + s_i``, ``0 <= s_i <= h`` and at least one ``s_i = h``,
+    the lemma claims ``sq-sum(<b_i>) >= sq-sum(<a_i>) + P(l+1)/2``.  Returns
+    True iff the inequality holds (with a small float tolerance); raises if
+    the preconditions are violated.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    s = np.asarray(s, dtype=np.float64)
+    if a.shape != s.shape:
+        raise ReproError(f"shape mismatch: a {a.shape} vs s {s.shape}")
+    if h <= 0:
+        raise ReproError(f"h must be positive, got {h}")
+    if (s < 0).any() or (s > h).any():
+        raise ReproError("Lemma 4 needs 0 <= s_i <= h")
+    if not np.count_nonzero(s == h):
+        raise ReproError("Lemma 4 needs at least one s_i equal to h (l > 0)")
+    lhs = squashed_sum(a + s)
+    return lhs + 1e-9 >= lemma4_rhs(a, s, h)

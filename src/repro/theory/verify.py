@@ -1,0 +1,124 @@
+"""Bound-verification helpers: measured results vs. paper guarantees.
+
+Each function takes a finished :class:`~repro.sim.results.SimulationResult`
+plus the *original* job set and machine, and returns a
+:class:`BoundCheck` recording the measured value, the bound, and whether the
+guarantee held.  Integration tests and the benchmark harness are built on
+these, so every theorem is checked in one audited place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.jobs.jobset import JobSet
+from repro.machine.machine import KResourceMachine
+from repro.sim.results import SimulationResult
+from repro.theory import bounds
+
+__all__ = [
+    "BoundCheck",
+    "check_makespan_bound",
+    "check_lemma2",
+    "check_theorem5",
+    "check_theorem6",
+]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """Outcome of one guarantee check.
+
+    ``ratio`` is measured/limit where a competitive ratio is being checked
+    (then ``limit`` is the theorem's ratio), or measured/bound for absolute
+    bounds (then holding means ratio <= 1).
+    """
+
+    name: str
+    measured: float
+    bound: float
+    holds: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "OK" if self.holds else "VIOLATED"
+        return f"{self.name}: measured={self.measured:.3f} bound={self.bound:.3f} [{verdict}]"
+
+
+def _common(result: SimulationResult, jobset: JobSet, machine: KResourceMachine):
+    if result.num_jobs != len(jobset):
+        raise ReproError(
+            f"result covers {result.num_jobs} jobs, job set has {len(jobset)}"
+        )
+    if result.capacities != machine.capacities:
+        raise ReproError("result and machine disagree on capacities")
+
+
+def check_makespan_bound(
+    result: SimulationResult, jobset: JobSet, machine: KResourceMachine
+) -> BoundCheck:
+    """Theorem 3: makespan / lower-bound <= K + 1 - 1/Pmax.
+
+    Because the denominator is a lower bound on the true optimum, the
+    empirical ratio over-states K-RAD's true ratio, so this check is sound.
+    """
+    _common(result, jobset, machine)
+    lb = bounds.makespan_lower_bound(jobset, machine)
+    ratio = result.makespan / lb
+    limit = bounds.theorem3_ratio(machine.num_categories, machine.pmax)
+    return BoundCheck(
+        name="theorem3-makespan",
+        measured=ratio,
+        bound=limit,
+        holds=ratio <= limit + 1e-9,
+    )
+
+
+def check_lemma2(
+    result: SimulationResult, jobset: JobSet, machine: KResourceMachine
+) -> BoundCheck:
+    """Lemma 2's absolute makespan bound (requires a no-idle-interval run)."""
+    _common(result, jobset, machine)
+    if result.idle_steps:
+        raise ReproError(
+            "Lemma 2 applies to schedules without idle intervals; this run "
+            f"idled for {result.idle_steps} steps"
+        )
+    limit = bounds.lemma2_bound(jobset, machine)
+    return BoundCheck(
+        name="lemma2-makespan",
+        measured=float(result.makespan),
+        bound=limit,
+        holds=result.makespan <= limit + 1e-9,
+    )
+
+
+def check_theorem5(
+    result: SimulationResult, jobset: JobSet, machine: KResourceMachine
+) -> BoundCheck:
+    """Theorem 5 via Inequality (5): total RT against the light-load bound."""
+    _common(result, jobset, machine)
+    limit = bounds.theorem5_total_rt_bound(jobset, machine)
+    measured = float(result.total_response_time)
+    return BoundCheck(
+        name="theorem5-total-rt",
+        measured=measured,
+        bound=limit,
+        holds=measured <= limit + 1e-9,
+    )
+
+
+def check_theorem6(
+    result: SimulationResult, jobset: JobSet, machine: KResourceMachine
+) -> BoundCheck:
+    """Theorem 6: mean-RT ratio vs ``4K + 1 - 4K/(n+1)`` on a batched set."""
+    _common(result, jobset, machine)
+    lb = bounds.mean_response_lower_bound(jobset, machine)
+    ratio = result.mean_response_time / lb
+    limit = bounds.theorem6_ratio(machine.num_categories, len(jobset))
+    return BoundCheck(
+        name="theorem6-mean-rt",
+        measured=ratio,
+        bound=limit,
+        holds=ratio <= limit + 1e-9,
+    )

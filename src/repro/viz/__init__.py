@@ -1,0 +1,19 @@
+"""Text-mode visualisation: Gantt charts and utilization timelines."""
+
+from repro.viz.dag_render import render_dag
+from repro.viz.gantt import render_gantt
+from repro.viz.heatmap import render_heatmap, sweep_heatmap
+from repro.viz.jobstates import render_job_states
+from repro.viz.profile import render_profile
+from repro.viz.timeline import render_utilization, sparkline
+
+__all__ = [
+    "render_dag",
+    "render_gantt",
+    "render_heatmap",
+    "sweep_heatmap",
+    "render_job_states",
+    "render_profile",
+    "render_utilization",
+    "sparkline",
+]

@@ -1,0 +1,61 @@
+"""ASCII rendering of K-DAG structure, level by level.
+
+Vertices are grouped by precedence depth (the rows of the parallelism
+profile); each vertex prints as ``id:category`` with a compact edge summary
+per level.  Meant for small pedagogical DAGs — large graphs are summarised
+(`dag_stats`) rather than drawn.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dag.kdag import KDag
+
+__all__ = ["render_dag"]
+
+
+def render_dag(
+    dag: KDag,
+    *,
+    category_names: tuple[str, ...] | None = None,
+    max_vertices_per_level: int = 12,
+) -> str:
+    """Render a DAG's level structure as text."""
+    if dag.num_vertices == 0:
+        return "(empty dag)"
+    if category_names is None:
+        category_names = tuple(f"c{a}" for a in range(dag.num_categories))
+    depth = dag.depth_from_source()
+    levels: dict[int, list[int]] = {}
+    for v in dag.vertices():
+        levels.setdefault(int(depth[v]), []).append(v)
+
+    lines = [
+        f"K-DAG: {dag.num_vertices} vertices, {dag.num_edges} edges, "
+        f"span {dag.span()}, work {dag.work_vector().tolist()}"
+    ]
+    for level in sorted(levels):
+        vertices = levels[level]
+        shown = vertices[:max_vertices_per_level]
+        parts = [f"v{v}:{category_names[dag.category(v)]}" for v in shown]
+        suffix = (
+            f" ... +{len(vertices) - len(shown)} more"
+            if len(vertices) > len(shown)
+            else ""
+        )
+        # summarise edges leaving this level by (from-level -> to-level)
+        out_edges = Counter()
+        for v in vertices:
+            for w in dag.successors(v):
+                out_edges[int(depth[w])] += 1
+        edge_txt = (
+            "  edges: "
+            + ", ".join(
+                f"{n}-> L{lvl}" for lvl, n in sorted(out_edges.items())
+            )
+            if out_edges
+            else ""
+        )
+        lines.append(f"L{level}: " + "  ".join(parts) + suffix + edge_txt)
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""ASCII Gantt charts of recorded schedules.
+
+One row per processor, one column per time step; cells show the job id that
+occupied the slot (``.`` for idle).  Job ids above 61 wrap through a symbol
+alphabet, which keeps small pedagogical examples readable — large traces are
+better inspected through metrics than pixels.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.sim.trace import Trace
+
+__all__ = ["render_gantt"]
+
+_SYMBOLS = string.digits + string.ascii_uppercase + string.ascii_lowercase
+
+
+def _symbol(job_id: int) -> str:
+    return _SYMBOLS[job_id % len(_SYMBOLS)]
+
+
+def render_gantt(
+    trace: Trace,
+    *,
+    category_names: tuple[str, ...] | None = None,
+    max_steps: int | None = None,
+) -> str:
+    """Render a recorded trace as one Gantt block per category.
+
+    Parameters
+    ----------
+    trace:
+        A trace recorded with ``record_trace=True``.
+    category_names:
+        Labels for the row groups (defaults to ``cat0..``).
+    max_steps:
+        Truncate the time axis (an ellipsis marks the cut).
+    """
+    if not trace.steps:
+        return "(empty trace)"
+    k = trace.num_categories
+    caps = trace.capacities
+    if category_names is None:
+        category_names = tuple(f"cat{a}" for a in range(k))
+    first_t = trace.steps[0].t
+    last_t = trace.steps[-1].t
+    width = last_t - first_t + 1
+    truncated = False
+    if max_steps is not None and width > max_steps:
+        width = max_steps
+        truncated = True
+
+    # grid[category][processor][col] = symbol
+    grid = [
+        [["."] * width for _ in range(caps[alpha])] for alpha in range(k)
+    ]
+    for placed in trace.placements():
+        col = placed.t - first_t
+        if col >= width:
+            continue
+        grid[placed.category][placed.processor][col] = _symbol(placed.job_id)
+
+    lines = []
+    header = f"t={first_t}..{last_t}" + (" (truncated)" if truncated else "")
+    lines.append(header)
+    for alpha in range(k):
+        lines.append(f"-- {category_names[alpha]} (P={caps[alpha]}) --")
+        for proc in range(caps[alpha]):
+            row = "".join(grid[alpha][proc])
+            suffix = "..." if truncated else ""
+            lines.append(f"  p{proc:<3d} |{row}|{suffix}")
+    lines.append("legend: job i shown as symbol (0-9A-Za-z, wrapping); '.' idle")
+    return "\n".join(lines)

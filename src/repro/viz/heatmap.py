@@ -1,0 +1,112 @@
+"""Text heatmaps for two-parameter sweep results."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.analysis.sweeps import SweepResult
+
+__all__ = ["render_heatmap", "sweep_heatmap"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    grid: np.ndarray,
+    *,
+    row_labels: Sequence[Any],
+    col_labels: Sequence[Any],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a 2-D array as shaded cells with numeric annotations.
+
+    NaN cells (missing grid points) render as ``--``.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"grid {grid.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    finite = grid[np.isfinite(grid)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+
+    def shade(v: float) -> str:
+        idx = int(round((v - lo) / span * (len(_SHADES) - 1)))
+        return _SHADES[max(0, min(idx, len(_SHADES) - 1))]
+
+    cells = []
+    for r in range(grid.shape[0]):
+        row = []
+        for c in range(grid.shape[1]):
+            v = grid[r, c]
+            if not np.isfinite(v):
+                row.append("--")
+            else:
+                row.append(f"{shade(v)} {v:.{precision}f}")
+        cells.append(row)
+    col_w = [
+        max(len(str(col_labels[c])), *(len(cells[r][c]) for r in range(len(row_labels))))
+        for c in range(len(col_labels))
+    ]
+    row_w = max(len(str(r)) for r in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " " * (row_w + 1)
+        + "  ".join(str(c).rjust(w) for c, w in zip(col_labels, col_w))
+    )
+    for r, label in enumerate(row_labels):
+        lines.append(
+            str(label).rjust(row_w)
+            + " "
+            + "  ".join(cells[r][c].rjust(col_w[c]) for c in range(len(col_labels)))
+        )
+    lines.append(f"(shade scale: {lo:.{precision}f} -> {hi:.{precision}f})")
+    return "\n".join(lines)
+
+
+def sweep_heatmap(
+    sweep: SweepResult,
+    *,
+    row: str,
+    col: str,
+    metric: str,
+    reduce: str = "mean",
+    title: str | None = None,
+) -> str:
+    """Pivot a sweep into a heatmap of ``metric`` by (``row``, ``col``).
+
+    Repeated cells (e.g. from ``repeats > 1``) are reduced by ``mean`` or
+    ``max``.
+    """
+    if reduce not in ("mean", "max"):
+        raise ValueError(f"reduce must be 'mean' or 'max', got {reduce!r}")
+    rows = sorted({r[row] for r in sweep.rows}, key=str)
+    cols = sorted({r[col] for r in sweep.rows}, key=str)
+    grid = np.full((len(rows), len(cols)), np.nan)
+    for ri, rv in enumerate(rows):
+        for ci, cv in enumerate(cols):
+            values = [
+                float(r[metric])
+                for r in sweep.rows
+                if r[row] == rv and r[col] == cv
+            ]
+            if values:
+                grid[ri, ci] = (
+                    float(np.mean(values))
+                    if reduce == "mean"
+                    else float(np.max(values))
+                )
+    return render_heatmap(
+        grid,
+        row_labels=rows,
+        col_labels=cols,
+        title=title or f"{metric} ({reduce}) by {row} x {col}",
+    )

@@ -1,0 +1,63 @@
+"""Per-job state timelines: who waited, who ran, who was starved.
+
+One row per job, one column per step::
+
+    (space)  not in the system (before release / after completion)
+    .        active somewhere but received no processor this step
+    #        ∀-satisfied (allotment == desire in every active category)
+    +        ∃-deprived but served (received processors below some desire)
+
+The picture makes scheduler personalities legible at a glance: FCFS shows
+long `.` runs on late jobs; round-robin shows `.`/`+` stripes; DEQ under
+light load is solid `#`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import Trace
+
+__all__ = ["render_job_states"]
+
+
+def render_job_states(trace: Trace, *, max_steps: int | None = None) -> str:
+    """Render the job-state grid of a recorded trace."""
+    if not trace.steps:
+        return "(empty trace)"
+    job_ids = sorted(
+        {jid for rec in trace.steps for jid in rec.desires}
+    )
+    first_t = trace.steps[0].t
+    last_t = trace.steps[-1].t
+    width = last_t - first_t + 1
+    truncated = max_steps is not None and width > max_steps
+    if truncated:
+        width = max_steps
+
+    rows = {jid: [" "] * width for jid in job_ids}
+    for rec in trace.steps:
+        col = rec.t - first_t
+        if col >= width:
+            continue
+        for jid, desire in rec.desires.items():
+            alloc = rec.allotments.get(jid)
+            if alloc is None or not np.any(np.asarray(alloc)):
+                rows[jid][col] = "."
+                continue
+            alloc = np.asarray(alloc)
+            desire = np.asarray(desire)
+            rows[jid][col] = "#" if (alloc == desire).all() else "+"
+
+    idw = max(len(str(jid)) for jid in job_ids)
+    lines = [
+        f"job states t={first_t}..{last_t}"
+        + (" (truncated)" if truncated else "")
+    ]
+    for jid in job_ids:
+        lines.append(f"  j{str(jid).rjust(idw)} |{''.join(rows[jid])}|")
+    lines.append(
+        "legend: '#' satisfied, '+' deprived-but-served, '.' waiting, "
+        "' ' not in system"
+    )
+    return "\n".join(lines)

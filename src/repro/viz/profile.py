@@ -1,0 +1,37 @@
+"""Render parallelism profiles as text."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.viz.timeline import sparkline
+
+__all__ = ["render_profile"]
+
+
+def render_profile(
+    profile: np.ndarray,
+    *,
+    category_names: tuple[str, ...] | None = None,
+) -> str:
+    """One sparkline per category of a ``(T, K)`` parallelism profile.
+
+    All rows share a scale (the global peak) so relative widths read
+    correctly across categories; the peak value is printed per row.
+    """
+    profile = np.asarray(profile)
+    if profile.size == 0:
+        return "(empty profile)"
+    t, k = profile.shape
+    if category_names is None:
+        category_names = tuple(f"cat{a}" for a in range(k))
+    top = float(profile.max())
+    name_w = max(len(n) for n in category_names)
+    lines = [f"parallelism profile over {t} steps (peak {int(top)})"]
+    for alpha in range(k):
+        col = profile[:, alpha]
+        lines.append(
+            f"{category_names[alpha].rjust(name_w)} "
+            f"|{sparkline(col, top=top)}| peak {int(col.max())}"
+        )
+    return "\n".join(lines)

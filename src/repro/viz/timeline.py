@@ -1,0 +1,58 @@
+"""Utilization and desire timelines as text sparklines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import Trace
+
+__all__ = ["render_utilization", "sparkline"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values, *, top: float | None = None) -> str:
+    """Map a sequence of nonnegative numbers onto a density string."""
+    a = np.asarray(values, dtype=np.float64)
+    if a.size == 0:
+        return ""
+    hi = float(top) if top is not None else float(a.max())
+    if hi <= 0:
+        return " " * a.size
+    idx = np.clip(
+        (a / hi * (len(_BLOCKS) - 1)).round().astype(int), 0, len(_BLOCKS) - 1
+    )
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def render_utilization(
+    trace: Trace,
+    *,
+    category_names: tuple[str, ...] | None = None,
+    bucket: int = 1,
+) -> str:
+    """Per-category utilization over time, one sparkline per category.
+
+    ``bucket`` averages that many consecutive steps per character, keeping
+    long traces on one screen.
+    """
+    if not trace.steps:
+        return "(empty trace)"
+    k = trace.num_categories
+    if category_names is None:
+        category_names = tuple(f"cat{a}" for a in range(k))
+    busy = trace.busy_matrix().astype(np.float64)
+    caps = np.asarray(trace.capacities, dtype=np.float64)
+    util = busy / caps  # (steps, K) in [0, 1]
+    if bucket > 1:
+        pad = (-util.shape[0]) % bucket
+        if pad:
+            util = np.vstack([util, np.zeros((pad, k))])
+        util = util.reshape(-1, bucket, k).mean(axis=1)
+    name_w = max(len(n) for n in category_names)
+    lines = [f"utilization (1 char = {bucket} step{'s' if bucket > 1 else ''})"]
+    for alpha in range(k):
+        lines.append(
+            f"{category_names[alpha].rjust(name_w)} |{sparkline(util[:, alpha], top=1.0)}|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import KResourceMachine, homogeneous_machine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests that need different streams spawn children."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def machine2() -> KResourceMachine:
+    """A small 2-category machine (4 cpu, 2 io)."""
+    return KResourceMachine((4, 2), names=("cpu", "io"))
+
+
+@pytest.fixture
+def machine3() -> KResourceMachine:
+    """A 3-category machine (4 cpu, 2 vector, 8 io)."""
+    return KResourceMachine((4, 2, 8), names=("cpu", "vector", "io"))
+
+
+@pytest.fixture
+def machine1() -> KResourceMachine:
+    """A homogeneous 4-processor machine."""
+    return homogeneous_machine(4)

@@ -1,0 +1,134 @@
+"""Tests for heatmaps, bootstrap CIs and trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_ci, grid, run_sweep
+from repro.errors import ReproError
+from repro.io import dump_trace, load_trace, trace_from_dict, trace_to_dict
+from repro.viz import render_heatmap, sweep_heatmap
+
+
+class TestBootstrap:
+    def test_interval_contains_truth_for_tight_data(self):
+        ci = bootstrap_ci([5.0] * 10)
+        assert ci.estimate == 5.0
+        assert ci.low == ci.high == 5.0
+        assert ci.contains(5.0)
+        assert ci.width == 0.0
+
+    def test_interval_widens_with_variance(self):
+        rng = np.random.default_rng(0)
+        tight = bootstrap_ci(rng.normal(0, 0.1, size=30), seed=1)
+        wide = bootstrap_ci(rng.normal(0, 5.0, size=30), seed=1)
+        assert wide.width > tight.width
+
+    def test_deterministic(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1, 2, 3, 100], statistic=np.median)
+        assert ci.estimate == 2.5
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], resamples=0)
+
+    def test_str_format(self):
+        s = str(bootstrap_ci([1.0, 2.0]))
+        assert "[" in s and "]95%" in s
+
+
+class TestHeatmap:
+    def test_render_basic(self):
+        grid_values = np.asarray([[1.0, 2.0], [3.0, 4.0]])
+        out = render_heatmap(
+            grid_values, row_labels=["a", "b"], col_labels=["x", "y"],
+            title="T",
+        )
+        assert out.startswith("T\n")
+        assert "4.00" in out and "1.00" in out
+        assert "shade scale" in out
+
+    def test_nan_cells(self):
+        grid_values = np.asarray([[1.0, np.nan]])
+        out = render_heatmap(
+            grid_values, row_labels=["r"], col_labels=["x", "y"]
+        )
+        assert "--" in out
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            render_heatmap(
+                np.ones((2, 2)), row_labels=["a"], col_labels=["x", "y"]
+            )
+
+    def test_sweep_pivot(self):
+        sweep = run_sweep(
+            grid(a=[1, 2], b=["x", "y"]),
+            lambda p, rng: {"v": p["a"] * (1 if p["b"] == "x" else 10)},
+        )
+        out = sweep_heatmap(sweep, row="a", col="b", metric="v")
+        assert "20.00" in out  # a=2, b=y
+        assert "v (mean) by a x b" in out
+
+    def test_sweep_pivot_max_reduce(self):
+        sweep = run_sweep(
+            grid(a=[1]), lambda p, rng: {"v": 3.0}, repeats=2
+        )
+        out = sweep_heatmap(sweep, row="a", col="rep", metric="v", reduce="max")
+        assert "3.00" in out
+
+    def test_bad_reduce(self):
+        sweep = run_sweep(grid(a=[1]), lambda p, rng: {"v": 1.0})
+        with pytest.raises(ValueError):
+            sweep_heatmap(sweep, row="a", col="a", metric="v", reduce="sum")
+
+
+class TestTraceIO:
+    def _trace(self, rng):
+        from repro.jobs import workloads
+        from repro.machine import KResourceMachine
+        from repro.schedulers import KRad
+        from repro.sim import simulate
+
+        machine = KResourceMachine((4, 2))
+        js = workloads.random_dag_jobset(rng, 2, 4, size_hint=8)
+        r = simulate(machine, KRad(), js, record_trace=True)
+        return js, r.trace
+
+    def test_round_trip_preserves_everything(self, rng):
+        js, trace = self._trace(rng)
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.num_categories == trace.num_categories
+        assert clone.capacities == trace.capacities
+        assert len(clone) == len(trace)
+        assert clone.task_times() == trace.task_times()
+        assert clone.busy_matrix().tolist() == trace.busy_matrix().tolist()
+
+    def test_round_tripped_trace_still_validates(self, rng):
+        from repro.sim import validate_schedule
+
+        js, trace = self._trace(rng)
+        clone = trace_from_dict(trace_to_dict(trace))
+        validate_schedule(clone, js)
+
+    def test_file_round_trip(self, tmp_path, rng):
+        js, trace = self._trace(rng)
+        path = tmp_path / "trace.json"
+        dump_trace(trace, str(path))
+        loaded = load_trace(str(path))
+        assert loaded.task_times() == trace.task_times()
+
+    def test_bad_document_rejected(self):
+        with pytest.raises(ReproError):
+            trace_from_dict({"format": "jobset", "version": 1})
+        with pytest.raises(ReproError):
+            trace_from_dict(
+                {"format": "trace", "version": 99, "steps": []}
+            )

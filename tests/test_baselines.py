@@ -1,0 +1,180 @@
+"""Unit tests for the baseline schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.machine import KResourceMachine
+from repro.schedulers import (
+    ClairvoyantCriticalPath,
+    ClairvoyantSrpt,
+    Equi,
+    GreedyFcfs,
+    KDeq,
+    KRoundRobin,
+    check_allotments,
+    scheduler_by_name,
+)
+from repro.dag import builders
+from repro.jobs import DagJob
+
+
+def desires(d):
+    return {jid: np.asarray(v, dtype=np.int64) for jid, v in d.items()}
+
+
+class TestEqui:
+    def test_equal_split_ignores_desires(self):
+        machine = KResourceMachine((8,))
+        s = Equi()
+        s.reset(machine)
+        alloc = s.allocate(1, desires({0: [8], 1: [1]}))
+        # both get quota 4; job 1 is capped at its desire, surplus wasted
+        assert alloc[0][0] == 4
+        assert alloc[1][0] == 1
+
+    def test_remainder_distribution(self):
+        machine = KResourceMachine((5,))
+        s = Equi()
+        s.reset(machine)
+        alloc = s.allocate(1, desires({0: [5], 1: [5], 2: [5]}))
+        assert sorted(a[0] for a in alloc.values()) == [1, 2, 2]
+
+    def test_inactive_jobs_excluded(self):
+        machine = KResourceMachine((4, 4))
+        s = Equi()
+        s.reset(machine)
+        alloc = s.allocate(1, desires({0: [4, 0], 1: [0, 4]}))
+        assert alloc[0].tolist() == [4, 0]
+        assert alloc[1].tolist() == [0, 4]
+
+
+class TestGreedy:
+    def test_serves_in_arrival_order(self):
+        machine = KResourceMachine((4,))
+        s = GreedyFcfs()
+        s.reset(machine)
+        alloc = s.allocate(1, desires({7: [3], 3: [3]}))
+        assert alloc[7][0] == 3  # first in dict order gets full desire
+        assert alloc[3][0] == 1
+
+    def test_work_conserving(self):
+        machine = KResourceMachine((4, 2))
+        s = GreedyFcfs()
+        s.reset(machine)
+        d = desires({0: [2, 1], 1: [9, 9]})
+        alloc = s.allocate(1, d)
+        total = sum(a for v in alloc.values() for a in v.tolist())
+        assert total == 4 + 2
+
+
+class TestKDeq:
+    def test_light_load_full_desires(self):
+        machine = KResourceMachine((8,))
+        s = KDeq()
+        s.reset(machine)
+        alloc = s.allocate(1, desires({0: [3], 1: [2]}))
+        assert alloc[0][0] == 3 and alloc[1][0] == 2
+
+    def test_heavy_load_rotates(self):
+        machine = KResourceMachine((2,))
+        s = KDeq()
+        s.reset(machine)
+        d = desires({0: [1], 1: [1], 2: [1], 3: [1]})
+        served = set()
+        for t in range(1, 3):
+            alloc = s.allocate(t, d)
+            served.update(j for j, a in alloc.items() if a[0] > 0)
+        # rotation means all four jobs served within two steps
+        assert served == {0, 1, 2, 3}
+
+    def test_capacity_respected(self):
+        machine = KResourceMachine((3, 2))
+        s = KDeq()
+        s.reset(machine)
+        rng = np.random.default_rng(2)
+        for t in range(1, 30):
+            d = desires({i: rng.integers(0, 4, size=2) for i in range(5)})
+            check_allotments(machine, d, s.allocate(t, d))
+
+
+class TestKRoundRobin:
+    def test_one_processor_each(self):
+        machine = KResourceMachine((4,))
+        s = KRoundRobin()
+        s.reset(machine)
+        alloc = s.allocate(1, desires({0: [9], 1: [9]}))
+        assert alloc[0][0] == 1 and alloc[1][0] == 1
+
+    def test_cycles_cover_all_jobs(self):
+        machine = KResourceMachine((2,))
+        s = KRoundRobin()
+        s.reset(machine)
+        d = desires({i: [1] for i in range(5)})
+        served = []
+        for t in range(1, 6):
+            alloc = s.allocate(t, d)
+            served.extend(j for j, a in alloc.items() if a[0] > 0)
+        # within ceil(5/2)*2 = 6 slots every job seen at least once
+        assert set(served) == {0, 1, 2, 3, 4}
+
+    def test_capacity_respected_over_time(self):
+        machine = KResourceMachine((2, 3))
+        s = KRoundRobin()
+        s.reset(machine)
+        rng = np.random.default_rng(3)
+        for t in range(1, 30):
+            d = desires({i: rng.integers(0, 3, size=2) for i in range(6)})
+            check_allotments(machine, d, s.allocate(t, d))
+
+
+class TestClairvoyant:
+    def _jobs(self):
+        deep = DagJob(builders.chain([0] * 5, 1), job_id=0)
+        shallow = DagJob(builders.independent_tasks([5]), job_id=1)
+        return {0: deep, 1: shallow}
+
+    def test_critical_path_prefers_deep_job(self):
+        machine = KResourceMachine((1,))
+        s = ClairvoyantCriticalPath()
+        s.reset(machine)
+        jobs = self._jobs()
+        d = desires({0: [1], 1: [5]})
+        alloc = s.allocate(1, d, jobs=jobs)
+        assert alloc[0][0] == 1  # span 5 beats span 1
+        assert alloc[1][0] == 0
+
+    def test_srpt_prefers_small_job(self):
+        machine = KResourceMachine((1,))
+        s = ClairvoyantSrpt()
+        s.reset(machine)
+        deep = DagJob(builders.chain([0] * 9, 1), job_id=0)
+        tiny = DagJob(builders.independent_tasks([1]), job_id=1)
+        d = desires({0: [1], 1: [1]})
+        alloc = s.allocate(1, d, jobs={0: deep, 1: tiny})
+        assert alloc[1][0] == 1
+
+    def test_requires_jobs(self):
+        machine = KResourceMachine((1,))
+        s = ClairvoyantCriticalPath()
+        s.reset(machine)
+        with pytest.raises(ScheduleError):
+            s.allocate(1, desires({0: [1]}), jobs=None)
+
+    def test_clairvoyant_flag(self):
+        assert ClairvoyantCriticalPath.clairvoyant
+        assert ClairvoyantSrpt.clairvoyant
+        assert not Equi.clairvoyant
+
+
+class TestRegistry:
+    def test_lookup_all_names(self):
+        for name in (
+            "k-rad", "rad", "k-deq", "k-rr", "equi", "greedy-fcfs",
+            "cv-critical-path", "cv-srpt",
+        ):
+            assert scheduler_by_name(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            scheduler_by_name("bogus")

@@ -1,0 +1,168 @@
+"""Unit tests for the structured DAG builders."""
+
+import numpy as np
+import pytest
+
+from repro.dag import builders
+from repro.errors import DagError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestChain:
+    def test_chain_structure(self):
+        dag = builders.chain([0, 1, 0], 2)
+        assert dag.num_vertices == 3
+        assert dag.num_edges == 2
+        assert dag.span() == 3
+        assert dag.work_vector().tolist() == [2, 1]
+
+    def test_empty_chain(self):
+        dag = builders.chain([], 1)
+        assert dag.num_vertices == 0
+
+    def test_single_vertex_chain(self):
+        dag = builders.chain([0], 1)
+        assert dag.span() == 1
+
+
+class TestIndependentTasks:
+    def test_counts_become_work(self):
+        dag = builders.independent_tasks([3, 0, 2])
+        assert dag.work_vector().tolist() == [3, 0, 2]
+        assert dag.num_edges == 0
+        assert dag.span() == 1
+
+    def test_all_zero_counts(self):
+        dag = builders.independent_tasks([0, 0])
+        assert dag.num_vertices == 0
+
+
+class TestForkJoin:
+    def test_basic_shape(self):
+        dag = builders.fork_join(4, body_category=0, num_categories=1)
+        assert dag.num_vertices == 6  # fork + 4 bodies + join
+        assert dag.num_edges == 8
+        assert dag.span() == 3
+
+    def test_heterogeneous_fork_join(self):
+        dag = builders.fork_join(
+            3, body_category=1, num_categories=2,
+            fork_category=0, join_category=0,
+        )
+        assert dag.work_vector().tolist() == [2, 3]
+
+    def test_width_validation(self):
+        with pytest.raises(DagError):
+            builders.fork_join(0, 0, 1)
+
+
+class TestMultiPhaseForkJoin:
+    def test_phases_chain(self):
+        dag = builders.multi_phase_fork_join([(0, 2), (1, 3)], 2)
+        # per phase: fork + width + join
+        assert dag.num_vertices == (2 + 2) + (2 + 3)
+        assert dag.span() == 6  # 3 per phase
+        assert dag.work_vector().tolist() == [4, 5]
+
+    def test_requires_a_phase(self):
+        with pytest.raises(DagError):
+            builders.multi_phase_fork_join([], 1)
+
+    def test_zero_width_phase_rejected(self):
+        with pytest.raises(DagError):
+            builders.multi_phase_fork_join([(0, 0)], 1)
+
+
+class TestPipeline:
+    def test_vertex_count_and_span(self):
+        dag = builders.pipeline([0, 1], items=3, num_categories=2)
+        assert dag.num_vertices == 6
+        # span = items + stages - 1 (the wavefront diagonal)
+        assert dag.span() == 4
+
+    def test_single_stage_is_a_chain(self):
+        dag = builders.pipeline([0], items=4, num_categories=1)
+        assert dag.span() == 4
+        assert dag.num_edges == 3
+
+    def test_category_assignment(self):
+        dag = builders.pipeline([0, 1, 0], items=2, num_categories=2)
+        assert dag.work_vector().tolist() == [4, 2]
+
+    def test_validation(self):
+        with pytest.raises(DagError):
+            builders.pipeline([0], items=0, num_categories=1)
+        with pytest.raises(DagError):
+            builders.pipeline([], items=1, num_categories=1)
+
+
+class TestSeriesParallel:
+    def test_depth_zero_is_single_vertex(self, rng):
+        dag = builders.series_parallel(0, 2, 3, rng)
+        assert dag.num_vertices == 1
+
+    def test_acyclic_and_valid(self, rng):
+        for _ in range(10):
+            dag = builders.series_parallel(4, 3, 2, rng)
+            dag.validate()
+            assert dag.span() >= 1
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(DagError):
+            builders.series_parallel(-1, 2, 1, rng)
+        with pytest.raises(DagError):
+            builders.series_parallel(1, 0, 1, rng)
+
+
+class TestDiamondMesh:
+    def test_shape(self):
+        dag = builders.diamond_mesh(3, 4, 2)
+        assert dag.num_vertices == 12
+        # span = rows + cols - 1
+        assert dag.span() == 6
+
+    def test_categories_alternate_by_antidiagonal(self):
+        dag = builders.diamond_mesh(2, 2, 2)
+        assert dag.categories().tolist() == [0, 1, 1, 0]
+
+    def test_validation(self):
+        with pytest.raises(DagError):
+            builders.diamond_mesh(0, 1, 1)
+
+
+class TestLayeredRandom:
+    def test_layer_count_bounds_span(self, rng):
+        dag = builders.layered_random(5, 4, 2, rng, width_jitter=False)
+        assert dag.span() == 5  # every vertex has a predecessor in prev layer
+
+    def test_every_nonfirst_vertex_has_predecessor(self, rng):
+        dag = builders.layered_random(4, 6, 3, rng, edge_probability=0.0)
+        depth = dag.depth_from_source()
+        # with p=0 each vertex still gets exactly one forced predecessor
+        assert depth.max() == 4
+
+    def test_validation(self, rng):
+        with pytest.raises(DagError):
+            builders.layered_random(0, 1, 1, rng)
+        with pytest.raises(DagError):
+            builders.layered_random(1, 1, 1, rng, edge_probability=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = builders.layered_random(4, 4, 2, np.random.default_rng(3))
+        b = builders.layered_random(4, 4, 2, np.random.default_rng(3))
+        assert list(a.edges()) == list(b.edges())
+        assert a.categories().tolist() == b.categories().tolist()
+
+
+class TestFigure1:
+    def test_documented_properties(self):
+        dag = builders.figure1_job()
+        dag.validate()
+        assert dag.num_categories == 3
+        assert dag.work_vector().tolist() == [3, 3, 2]
+        assert dag.span() == 4
+        assert dag.num_vertices == 8

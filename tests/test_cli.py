@@ -1,0 +1,118 @@
+"""Unit tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG3" in out and "THM6" in out
+
+    def test_run_fig1(self, capsys):
+        assert main(["FIG1"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment PASSED" in out
+
+    def test_run_lowercase(self, capsys):
+        assert main(["fig1"]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["BOGUS"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_lem4_accepts_seed(self, capsys):
+        assert main(["LEM4", "--seed", "3"]) == 0
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_out_file(self, capsys, tmp_path):
+        out = tmp_path / "report.txt"
+        assert main(["FIG1", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "FIG1" in text and "experiment PASSED" in text
+
+    def test_extension_experiment_runs(self, capsys):
+        assert main(["ABLATE"]) == 0
+        assert "ablation" in capsys.readouterr().out
+
+
+class TestCliOutputFormats:
+    def test_markdown_out(self, capsys, tmp_path):
+        out = tmp_path / "r.md"
+        assert main(["FIG1", "--out", str(out), "--markdown"]) == 0
+        text = out.read_text()
+        assert "## FIG1" in text and "| quantity |" in text
+
+    def test_json_out(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "r.jsonl"
+        assert main(["FIG1", "--out", str(out), "--json"]) == 0
+        doc = json.loads(out.read_text().strip())
+        assert doc["experiment_id"] == "FIG1"
+        assert doc["passed"] is True
+        assert isinstance(doc["checks"], dict)
+
+    def test_report_to_dict_round_trips_json(self):
+        import json
+
+        from repro.experiments import run_experiment
+
+        doc = run_experiment("FIG1").to_dict()
+        json.dumps(doc)  # must not raise on numpy leftovers
+
+
+class TestCliAll:
+    def test_all_aggregates_and_reports(self, capsys, monkeypatch):
+        """Run `krad all` against a stubbed registry (fast, deterministic)."""
+        from repro import cli
+        from repro.experiments.common import ExperimentReport
+
+        def make(passed):
+            def run(**kwargs):
+                return ExperimentReport(
+                    experiment_id="STUB",
+                    title="stub",
+                    headers=["x"],
+                    rows=[[1]],
+                    checks={"c": passed},
+                )
+
+            return run
+
+        monkeypatch.setattr(
+            cli, "REGISTRY", {"A1": make(True), "A2": make(True)}
+        )
+        monkeypatch.setattr(
+            "repro.experiments.REGISTRY",
+            {"A1": make(True), "A2": make(True)},
+        )
+        assert cli.main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL EXPERIMENTS PASSED" in out
+
+    def test_all_fails_when_one_fails(self, capsys, monkeypatch):
+        from repro import cli
+        from repro.experiments.common import ExperimentReport
+
+        def run_bad(**kwargs):
+            return ExperimentReport(
+                experiment_id="BAD",
+                title="bad",
+                headers=["x"],
+                rows=[],
+                checks={"c": False},
+            )
+
+        monkeypatch.setattr(cli, "REGISTRY", {"B1": run_bad})
+        monkeypatch.setattr(
+            "repro.experiments.REGISTRY", {"B1": run_bad}
+        )
+        assert cli.main(["all"]) == 1
+        assert "SOME EXPERIMENTS FAILED" in capsys.readouterr().out

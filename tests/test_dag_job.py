@@ -1,0 +1,157 @@
+"""Unit tests for the DagJob runtime."""
+
+import numpy as np
+import pytest
+
+from repro.dag import KDag, builders
+from repro.errors import ScheduleError
+from repro.jobs import CP_FIRST, FIFO, DagJob
+
+
+def make_chain(k=2, cats=(0, 1, 0)):
+    return DagJob(builders.chain(list(cats), k), job_id=1)
+
+
+class TestDesires:
+    def test_initial_desire_is_sources(self):
+        dag = builders.independent_tasks([3, 2])
+        job = DagJob(dag)
+        assert job.desire_vector().tolist() == [3, 2]
+        assert job.desire(0) == 3
+        assert job.is_active(0) and job.is_active(1)
+
+    def test_chain_has_unit_desire(self):
+        job = make_chain()
+        assert job.desire_vector().tolist() == [1, 0]
+        assert not job.is_active(1)
+
+    def test_uncompleted_job_desires_something(self):
+        job = make_chain()
+        while not job.is_complete:
+            d = job.desire_vector()
+            assert d.sum() >= 1
+            job.execute(d, FIFO)
+        assert job.desire_vector().sum() == 0
+
+
+class TestExecute:
+    def test_chain_executes_in_order(self):
+        job = make_chain(2, (0, 1, 0))
+        out = job.execute(np.asarray([1, 0]), FIFO)
+        assert out == [[0], []]
+        out = job.execute(np.asarray([0, 1]), FIFO)
+        assert out == [[], [1]]
+        out = job.execute(np.asarray([1, 0]), FIFO)
+        assert out == [[2], []]
+        assert job.is_complete
+
+    def test_successor_not_ready_same_step(self):
+        job = make_chain(1, (0, 0))
+        job.execute(np.asarray([1]), FIFO)
+        # the successor becomes ready only for the next step, desire is 1 now
+        assert job.desire(0) == 1
+
+    def test_over_allotment_rejected(self):
+        job = make_chain()
+        with pytest.raises(ScheduleError):
+            job.execute(np.asarray([2, 0]), FIFO)
+
+    def test_negative_allotment_rejected(self):
+        job = make_chain()
+        with pytest.raises(ScheduleError):
+            job.execute(np.asarray([-1, 0]), FIFO)
+
+    def test_wrong_length_rejected(self):
+        job = make_chain()
+        with pytest.raises(ScheduleError):
+            job.execute(np.asarray([1]), FIFO)
+
+    def test_parallel_execution_counts(self):
+        dag = builders.independent_tasks([4])
+        job = DagJob(dag)
+        out = job.execute(np.asarray([3]), FIFO)
+        assert len(out[0]) == 3
+        assert job.desire(0) == 1
+
+    def test_fork_join_unfolds(self):
+        dag = builders.fork_join(3, 0, 1)
+        job = DagJob(dag)
+        assert job.desire(0) == 1  # fork
+        job.execute(np.asarray([1]), FIFO)
+        assert job.desire(0) == 3  # bodies
+        job.execute(np.asarray([3]), FIFO)
+        assert job.desire(0) == 1  # join
+        job.execute(np.asarray([1]), FIFO)
+        assert job.is_complete
+
+    def test_execute_with_cp_policy_uses_depth(self):
+        # diamond: two branches, one deeper
+        dag = KDag(1)
+        a = dag.add_vertex(0)
+        b = dag.add_vertex(0)   # shallow branch
+        c = dag.add_vertex(0)   # deep branch start
+        d = dag.add_vertex(0)
+        dag.add_edges([(a, b), (a, c), (c, d)])
+        job = DagJob(dag)
+        job.execute(np.asarray([1]), CP_FIRST)
+        out = job.execute(np.asarray([1]), CP_FIRST)
+        assert out == [[c]]  # deeper branch first
+
+
+class TestAnalysisSurface:
+    def test_static_quantities(self):
+        dag = builders.pipeline([0, 1], items=3, num_categories=2)
+        job = DagJob(dag)
+        assert job.work_vector().tolist() == [3, 3]
+        assert job.work(1) == 3
+        assert job.total_work() == 6
+        assert job.span() == dag.span()
+        assert job.num_categories == 2
+
+    def test_remaining_work_decreases(self):
+        job = make_chain(1, (0, 0, 0))
+        assert job.remaining_work_vector().tolist() == [3]
+        job.execute(np.asarray([1]), FIFO)
+        assert job.remaining_work_vector().tolist() == [2]
+
+    def test_remaining_span_decreases_on_satisfied_steps(self):
+        job = make_chain(1, (0, 0, 0))
+        spans = [job.remaining_span()]
+        while not job.is_complete:
+            job.execute(job.desire_vector(), FIFO)
+            spans.append(job.remaining_span())
+        assert spans == [3, 2, 1, 0]
+
+    def test_ready_tasks_view(self):
+        dag = builders.independent_tasks([2])
+        job = DagJob(dag)
+        assert job.ready_tasks(0) == (0, 1)
+
+    def test_executed_mask(self):
+        job = make_chain(1, (0, 0))
+        job.execute(np.asarray([1]), FIFO)
+        assert job.executed_mask().tolist() == [True, False]
+
+
+class TestFreshCopy:
+    def test_copy_resets_state(self):
+        job = make_chain(1, (0, 0))
+        job.execute(np.asarray([1]), FIFO)
+        clone = job.fresh_copy()
+        assert clone.job_id == job.job_id
+        assert clone.desire(0) == 1
+        assert clone.remaining_work_vector().tolist() == [2]
+        assert not clone.is_complete
+
+    def test_copy_shares_dag(self):
+        job = make_chain()
+        assert job.fresh_copy().dag is job.dag
+
+    def test_response_time_requires_completion(self):
+        job = make_chain()
+        with pytest.raises(ScheduleError):
+            job.response_time()
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ScheduleError):
+            DagJob(builders.independent_tasks([1]), release_time=-1)

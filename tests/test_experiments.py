@@ -1,0 +1,91 @@
+"""Integration tests: every experiment driver runs and passes its checks.
+
+Small parameters keep this fast; the benchmarks run the full-size versions.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments import (
+    exp_baselines,
+    exp_k1_homogeneous,
+    exp_lemma4,
+    exp_makespan,
+    exp_response_heavy,
+    exp_response_light,
+    fig1_example,
+    fig3_lower_bound,
+)
+
+
+class TestDrivers:
+    def test_fig1(self):
+        report = fig1_example.run()
+        assert report.passed, report.failing_checks()
+        assert "Gantt" not in report.render() or True
+        assert report.experiment_id == "FIG1"
+
+    def test_fig3_small(self):
+        report = fig3_lower_bound.run(configs=[(2, 2), (2, 2, 2)], ms=[1, 2])
+        assert report.passed, report.failing_checks()
+        assert len(report.rows) == 4
+
+    def test_makespan_small(self):
+        report = exp_makespan.run(seed=1, repeats=1, n_jobs=(3,))
+        assert report.passed, report.failing_checks()
+
+    def test_response_light_small(self):
+        report = exp_response_light.run(seed=1, repeats=1, n_jobs=(2,))
+        assert report.passed, report.failing_checks()
+
+    def test_response_heavy_small(self):
+        report = exp_response_heavy.run(seed=1, repeats=1, load_factors=(2.0,))
+        assert report.passed, report.failing_checks()
+
+    def test_lemma4_small(self):
+        report = exp_lemma4.run(seed=1, trials=200, max_m=15)
+        assert report.passed, report.failing_checks()
+
+    def test_k1_small(self):
+        report = exp_k1_homogeneous.run(
+            seed=1, repeats=1, processors=(4,), n_jobs=(4, 8), lb_ms=(1, 2)
+        )
+        assert report.passed, report.failing_checks()
+
+    def test_baselines_small(self):
+        report = exp_baselines.run(seed=1, repeats=1)
+        assert report.passed, report.failing_checks()
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        paper = {
+            "FIG1", "FIG3", "THM3", "THM5", "THM6", "LEM4", "K1", "BASE",
+            "FAIR", "SHOP", "OPT", "ADAPT", "WKLD", "APPS", "SENS",
+        }
+        extensions = {"RAND", "SPEED", "FEEDBACK", "ABLATE", "FAULT", "HUNT"}
+        assert set(REGISTRY) == paper | extensions
+
+    def test_run_experiment_case_insensitive(self):
+        report = run_experiment("fig1")
+        assert report.experiment_id == "FIG1"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("NOPE")
+
+
+class TestReportRendering:
+    def test_render_contains_verdicts(self):
+        report = fig1_example.run()
+        out = report.render()
+        assert "PASS" in out
+        assert "experiment PASSED" in out
+
+    def test_failing_check_renders_fail(self):
+        report = fig1_example.run()
+        report.checks["synthetic failure"] = False
+        out = report.render()
+        assert "FAIL" in out and "experiment FAILED" in out
+        assert not report.passed
+        assert report.failing_checks() == ["synthetic failure"]

@@ -1,0 +1,53 @@
+"""Tests for the markdown export helpers."""
+
+import pytest
+
+from repro.analysis import markdown_table, report_to_markdown
+from repro.experiments.common import ExperimentReport
+
+
+class TestMarkdownTable:
+    def test_basic(self):
+        out = markdown_table(["a", "b"], [[1, 2.5], [3, 0.125]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.500 |" in out
+
+    def test_pipe_escaping(self):
+        out = markdown_table(["x"], [["a|b"]])
+        assert "a\\|b" in out
+
+    def test_booleans(self):
+        out = markdown_table(["ok"], [[True], [False]])
+        assert "| yes |" in out and "| no |" in out
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+
+class TestReportToMarkdown:
+    def _report(self, passed=True):
+        return ExperimentReport(
+            experiment_id="X1",
+            title="demo",
+            headers=["k", "v"],
+            rows=[["a", 1]],
+            checks={"something": passed},
+            notes=["a note"],
+            text="ignored in markdown",
+        )
+
+    def test_contains_sections(self):
+        md = report_to_markdown(self._report())
+        assert md.startswith("## X1 — demo")
+        assert "| k | v |" in md
+        assert "*a note*" in md
+        assert "✅ something" in md
+        assert "**PASSED**" in md
+
+    def test_failed_report(self):
+        md = report_to_markdown(self._report(passed=False))
+        assert "❌ something" in md
+        assert "**FAILED**" in md

@@ -1,0 +1,118 @@
+"""Tests for the RR fairness analysis and instrumentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import GreedyFcfs, KRad
+from repro.sim import simulate
+from repro.sim.instrument import RecordingScheduler
+from repro.theory.fairness import jain_index, service_gaps, verify_service_bound
+
+
+def record_run(machine, jobset, inner=None):
+    sched = RecordingScheduler(inner or KRad())
+    simulate(machine, sched, jobset)
+    return sched
+
+
+class TestRecordingScheduler:
+    def test_records_every_step(self, machine2, rng):
+        js = workloads.random_phase_jobset(rng, 2, 6)
+        sched = record_run(machine2, js)
+        assert len(sched.records) >= 1
+        assert sched.records[0].t == 1
+        assert sched.name == "k-rad"
+
+    def test_record_accessors(self, machine2, rng):
+        js = workloads.random_phase_jobset(rng, 2, 6)
+        sched = record_run(machine2, js)
+        rec = sched.records[0]
+        for jid in rec.served_jobs(0):
+            assert rec.allotments[jid][0] > 0
+        for jid in rec.active_jobs(0):
+            assert rec.desires[jid][0] > 0
+
+    def test_transparent_results(self, machine2, rng):
+        js = workloads.random_phase_jobset(rng, 2, 8)
+        plain = simulate(machine2, KRad(), js)
+        wrapped = simulate(machine2, RecordingScheduler(KRad()), js)
+        assert plain.makespan == wrapped.makespan
+        assert plain.completion_times == wrapped.completion_times
+
+    def test_reset_clears_records(self, machine2, rng):
+        js = workloads.random_phase_jobset(rng, 2, 4)
+        sched = RecordingScheduler(KRad())
+        simulate(machine2, sched, js)
+        n1 = len(sched.records)
+        simulate(machine2, sched, js)  # reset() runs inside simulate
+        assert len(sched.records) <= n1 + 5  # fresh recording, not appended
+
+
+class TestServiceGaps:
+    def test_no_gaps_under_light_load(self, rng):
+        machine = KResourceMachine((16, 16))
+        js = workloads.light_phase_jobset(rng, machine, 4)
+        sched = record_run(machine, js)
+        for alpha in range(2):
+            gaps = service_gaps(sched.records, 16, alpha)
+            assert gaps == []  # DEQ always serves every active job
+
+    def test_heavy_load_has_bounded_gaps(self, rng):
+        machine = KResourceMachine((2,))
+        js = workloads.heavy_phase_jobset(rng, machine, load_factor=6.0)
+        sched = record_run(machine, js)
+        report = verify_service_bound(sched.records, 2, 0)
+        assert report.gaps  # the RR regime makes jobs wait...
+        assert report.all_within_bound  # ...but never beyond the bound
+        assert report.max_gap >= 1
+        assert report.worst() is not None
+
+    def test_fcfs_violates_rr_bound(self, rng):
+        """Sanity: the bound is not vacuous — FCFS breaks it."""
+        from repro.dag import builders
+        from repro.jobs import JobSet
+
+        machine = KResourceMachine((2,))
+        dags = [builders.chain([0] * 40, 1) for _ in range(2)]
+        dags += [builders.chain([0], 1) for _ in range(6)]
+        js = JobSet.from_dags(dags)
+        sched = record_run(machine, js, inner=GreedyFcfs())
+        report = verify_service_bound(sched.records, 2, 0)
+        assert not report.all_within_bound
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError):
+            service_gaps([], 0, 0)
+
+    @given(st.integers(0, 2**31), st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_krad_gaps_always_bounded(self, seed, p):
+        machine = KResourceMachine((p,))
+        rng = np.random.default_rng(seed)
+        js = workloads.heavy_phase_jobset(
+            rng, machine, load_factor=4.0, max_work=10
+        )
+        sched = record_run(machine, js)
+        assert verify_service_bound(sched.records, p, 0).all_within_bound
+
+
+class TestJainIndex:
+    def test_even_is_one(self):
+        assert jain_index([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_skewed_is_one_over_n(self):
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_all_zero(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            jain_index([])
+        with pytest.raises(ReproError):
+            jain_index([-1.0])

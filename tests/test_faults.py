@@ -1,0 +1,108 @@
+"""Tests for failure injection (time-varying capacities)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError, SimulationError
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad, KRoundRobin
+from repro.sim import simulate, validate_schedule
+from repro.sim.faults import RandomDegradation, periodic_outage
+
+
+class TestPeriodicOutage:
+    def test_schedule_shape(self):
+        sched = periodic_outage(
+            (8, 4), category=0, period=10, duration=3, degraded=2
+        )
+        assert sched(1) == (2, 4)
+        assert sched(3) == (2, 4)
+        assert sched(4) == (8, 4)
+        assert sched(11) == (2, 4)  # next period
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            periodic_outage((4,), category=1, period=5, duration=1)
+        with pytest.raises(SimulationError):
+            periodic_outage((4,), category=0, period=5, duration=6)
+        with pytest.raises(SimulationError):
+            periodic_outage((4,), category=0, period=5, duration=1, degraded=0)
+
+
+class TestRandomDegradation:
+    def test_deterministic_in_t(self):
+        d = RandomDegradation((8, 4), availability=0.5, seed=3)
+        assert d(7) == d(7)
+        # call order must not matter
+        a = [d(t) for t in (5, 1, 9)]
+        b = [d(t) for t in (9, 5, 1)]
+        assert a == [b[1], b[2], b[0]]
+
+    def test_capacity_floor(self):
+        d = RandomDegradation((2,), availability=0.01, seed=0)
+        assert all(d(t)[0] >= 1 for t in range(1, 50))
+
+    def test_availability_validated(self):
+        with pytest.raises(SimulationError):
+            RandomDegradation((4,), availability=0.0)
+
+
+class TestEngineIntegration:
+    def test_outage_slows_but_completes(self, rng):
+        machine = KResourceMachine((8, 4))
+        js = workloads.random_dag_jobset(rng, 2, 8, size_hint=20)
+        healthy = simulate(machine, KRad(), js)
+        faulty = simulate(
+            machine,
+            KRad(),
+            js,
+            capacity_schedule=periodic_outage(
+                (8, 4), category=0, period=8, duration=4
+            ),
+        )
+        assert set(faulty.completion_times) == set(healthy.completion_times)
+        assert faulty.makespan >= healthy.makespan
+
+    def test_trace_stays_valid_under_faults(self, rng):
+        machine = KResourceMachine((4, 4))
+        js = workloads.random_dag_jobset(rng, 2, 5)
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            capacity_schedule=RandomDegradation((4, 4), seed=1),
+            record_trace=True,
+        )
+        validate_schedule(r.trace, js)  # degraded <= nominal, still valid
+
+    def test_rr_scheduler_state_survives_rebind(self, rng):
+        machine = KResourceMachine((2,))
+        js = workloads.heavy_phase_jobset(rng, machine, load_factor=4.0)
+        r = simulate(
+            machine,
+            KRoundRobin(),
+            js,
+            capacity_schedule=periodic_outage(
+                (2,), category=0, period=6, duration=2
+            ),
+        )
+        assert len(r.completion_times) == len(js)
+
+    def test_bad_schedule_rejected(self, rng):
+        machine = KResourceMachine((4,))
+        js = workloads.random_dag_jobset(rng, 1, 2)
+        with pytest.raises(SimulationError):
+            simulate(
+                machine, KRad(), js, capacity_schedule=lambda t: (9,)
+            )  # above nominal
+        with pytest.raises(SimulationError):
+            simulate(
+                machine, KRad(), js, capacity_schedule=lambda t: (4, 4)
+            )  # wrong K
+
+    def test_rebind_category_mismatch_rejected(self):
+        sched = KRad()
+        sched.reset(KResourceMachine((4, 4)))
+        with pytest.raises(ScheduleError):
+            sched.rebind(KResourceMachine((4,)))

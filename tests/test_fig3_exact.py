@@ -1,0 +1,85 @@
+"""Integration tests: the Figure-3 reproduction is EXACT.
+
+These are the headline tests of the repository — the simulated adversarial
+and optimal makespans must equal the closed forms derived in the proof of
+Theorem 1, configuration by configuration.
+"""
+
+import pytest
+
+from repro.dag.lowerbound import figure3_instance, homogeneous_lower_bound_job
+from repro.jobs import CP_FIRST, CP_LAST, JobSet
+from repro.machine import KResourceMachine, homogeneous_machine
+from repro.schedulers import ClairvoyantCriticalPath, KRad, Rad
+from repro.sim import simulate, validate_schedule
+from repro.theory.bounds import theorem1_ratio
+
+CONFIGS = [(2, 2), (2, 4), (2, 2, 2), (2, 2, 4), (4, 4, 4), (2, 3, 4, 4)]
+
+
+@pytest.mark.parametrize("caps", CONFIGS)
+@pytest.mark.parametrize("m", [1, 2, 4])
+class TestExactness:
+    def test_adversarial_makespan_exact(self, caps, m):
+        inst = figure3_instance(m, caps)
+        machine = KResourceMachine(caps)
+        js = JobSet.from_dags(inst.dags)
+        adv = simulate(machine, KRad(), js, policy=CP_LAST)
+        assert adv.makespan == inst.adversarial_makespan
+
+    def test_optimal_makespan_exact(self, caps, m):
+        inst = figure3_instance(m, caps)
+        machine = KResourceMachine(caps)
+        js = JobSet.from_dags(inst.dags)
+        opt = simulate(
+            machine, ClairvoyantCriticalPath(), js, policy=CP_FIRST
+        )
+        assert opt.makespan == inst.optimal_makespan
+
+    def test_ratio_below_limit(self, caps, m):
+        inst = figure3_instance(m, caps)
+        ratio = inst.adversarial_makespan / inst.optimal_makespan
+        assert ratio <= theorem1_ratio(len(caps), max(caps)) + 1e-9
+
+
+class TestConvergence:
+    def test_ratio_monotone_in_m(self):
+        caps = (2, 2, 4)
+        ratios = []
+        machine = KResourceMachine(caps)
+        for m in (1, 2, 4, 8):
+            inst = figure3_instance(m, caps)
+            js = JobSet.from_dags(inst.dags)
+            adv = simulate(machine, KRad(), js, policy=CP_LAST)
+            opt = simulate(
+                machine, ClairvoyantCriticalPath(), js, policy=CP_FIRST
+            )
+            ratios.append(adv.makespan / opt.makespan)
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        limit = theorem1_ratio(3, 4)
+        # within 15% of the limit at m = 8
+        assert ratios[-1] > 0.85 * limit
+
+    def test_adversarial_schedule_is_valid(self):
+        caps = (2, 2, 4)
+        inst = figure3_instance(2, caps)
+        machine = KResourceMachine(caps)
+        js = JobSet.from_dags(inst.dags)
+        r = simulate(machine, KRad(), js, policy=CP_LAST, record_trace=True)
+        validate_schedule(r.trace, js)
+
+
+class TestHomogeneousAnalogue:
+    @pytest.mark.parametrize("p", [2, 4])
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_k1_adversary(self, p, m):
+        machine = homogeneous_machine(p)
+        js = JobSet.from_dags([homogeneous_lower_bound_job(m, p)])
+        adv = simulate(machine, Rad(), js, policy=CP_LAST)
+        opt = simulate(
+            machine, ClairvoyantCriticalPath(), js, policy=CP_FIRST
+        )
+        # closed forms: T* = m*p, T_adv = 2*m*p - m (see lowerbound module)
+        assert opt.makespan == m * p
+        assert adv.makespan == 2 * m * p - m
+        assert adv.makespan / opt.makespan <= 2 - 1 / p + 1e-9

@@ -1,0 +1,122 @@
+"""Unit tests for JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dag import builders, figure3_special_job
+from repro.errors import ReproError
+from repro.io import (
+    dag_from_dict,
+    dag_to_dict,
+    dump_jobset,
+    job_from_dict,
+    job_to_dict,
+    jobset_from_dict,
+    jobset_to_dict,
+    load_jobset,
+    machine_from_dict,
+    machine_to_dict,
+)
+from repro.jobs import DagJob, JobSet, Phase, PhaseJob, workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad
+from repro.sim import simulate
+
+
+class TestMachine:
+    def test_round_trip(self):
+        m = KResourceMachine((4, 2), names=("cpu", "io"))
+        assert machine_from_dict(machine_to_dict(m)) == m
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ReproError):
+            machine_from_dict({"format": "kdag", "version": 1})
+
+    def test_bad_version_rejected(self):
+        d = machine_to_dict(KResourceMachine((1,)))
+        d["version"] = 99
+        with pytest.raises(ReproError):
+            machine_from_dict(d)
+
+    def test_not_a_dict_rejected(self):
+        with pytest.raises(ReproError):
+            machine_from_dict([1, 2])
+
+
+class TestDag:
+    def test_round_trip_preserves_structure(self):
+        dag = figure3_special_job(2, (2, 2, 4))
+        clone = dag_from_dict(dag_to_dict(dag))
+        assert clone.num_vertices == dag.num_vertices
+        assert clone.categories().tolist() == dag.categories().tolist()
+        assert sorted(clone.edges()) == sorted(dag.edges())
+        assert clone.span() == dag.span()
+
+    def test_json_serialisable(self):
+        dag = builders.figure1_job()
+        text = json.dumps(dag_to_dict(dag))
+        clone = dag_from_dict(json.loads(text))
+        assert clone.work_vector().tolist() == [3, 3, 2]
+
+
+class TestJob:
+    def test_dag_job_round_trip(self):
+        job = DagJob(builders.chain([0, 1], 2), job_id=7, release_time=3)
+        clone = job_from_dict(job_to_dict(job))
+        assert isinstance(clone, DagJob)
+        assert clone.job_id == 7 and clone.release_time == 3
+        assert clone.work_vector().tolist() == [1, 1]
+
+    def test_phase_job_round_trip(self):
+        job = PhaseJob(
+            [Phase([4, 0], [2, 1]), Phase([0, 6], [1, 3])], job_id=2
+        )
+        clone = job_from_dict(job_to_dict(job))
+        assert isinstance(clone, PhaseJob)
+        assert clone.work_vector().tolist() == [4, 6]
+        assert clone.span() == job.span()
+
+    def test_runtime_state_not_saved(self):
+        job = PhaseJob([Phase([4], [2])])
+        job.execute(np.asarray([2]), None)
+        clone = job_from_dict(job_to_dict(job))
+        assert clone.remaining_work_vector().tolist() == [4]
+
+    def test_unknown_backend_rejected(self):
+        d = job_to_dict(PhaseJob([Phase([1], [1])]))
+        d["backend"] = "quantum"
+        with pytest.raises(ReproError):
+            job_from_dict(d)
+
+    def test_unsupported_job_type_rejected(self):
+        class Fake:
+            job_id = 0
+            release_time = 0
+
+        with pytest.raises((ReproError, AttributeError)):
+            job_to_dict(Fake())
+
+
+class TestJobSet:
+    def test_round_trip_mixed_backends(self, rng):
+        js = JobSet(
+            [
+                DagJob(builders.fork_join(3, 0, 2), job_id=0),
+                PhaseJob([Phase([3, 3], [2, 2])], job_id=1),
+            ]
+        )
+        clone = jobset_from_dict(jobset_to_dict(js))
+        assert len(clone) == 2
+        assert clone.total_work_vector().tolist() == js.total_work_vector().tolist()
+
+    def test_file_round_trip_and_replay(self, tmp_path, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 5)
+        path = tmp_path / "workload.json"
+        dump_jobset(js, str(path))
+        loaded = load_jobset(str(path))
+        a = simulate(machine2, KRad(), js)
+        b = simulate(machine2, KRad(), loaded)
+        assert a.makespan == b.makespan
+        assert a.completion_times == b.completion_times

@@ -1,0 +1,95 @@
+"""Unit tests for JobSet aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.dag import builders
+from repro.errors import WorkloadError
+from repro.jobs import DagJob, JobSet, Phase, PhaseJob
+
+
+def two_jobs():
+    a = DagJob(builders.chain([0, 1], 2), job_id=0)
+    b = DagJob(builders.independent_tasks([3, 1]), job_id=1, release_time=4)
+    return JobSet([a, b])
+
+
+class TestConstruction:
+    def test_needs_jobs(self):
+        with pytest.raises(WorkloadError):
+            JobSet([])
+
+    def test_duplicate_ids_rejected(self):
+        a = DagJob(builders.chain([0], 1), job_id=0)
+        b = DagJob(builders.chain([0], 1), job_id=0)
+        with pytest.raises(WorkloadError):
+            JobSet([a, b])
+
+    def test_mixed_k_rejected(self):
+        a = DagJob(builders.chain([0], 1), job_id=0)
+        b = DagJob(builders.chain([0], 2), job_id=1)
+        with pytest.raises(WorkloadError):
+            JobSet([a, b])
+
+    def test_from_dags_assigns_ids_and_releases(self):
+        dags = [builders.chain([0], 1), builders.chain([0, 0], 1)]
+        js = JobSet.from_dags(dags, release_times=[0, 7])
+        assert [j.job_id for j in js] == [0, 1]
+        assert [j.release_time for j in js] == [0, 7]
+
+    def test_from_dags_release_mismatch(self):
+        with pytest.raises(WorkloadError):
+            JobSet.from_dags([builders.chain([0], 1)], release_times=[0, 1])
+
+    def test_mixed_backends_allowed(self):
+        a = DagJob(builders.chain([0], 1), job_id=0)
+        b = PhaseJob([Phase([2], [1])], job_id=1)
+        js = JobSet([a, b])
+        assert len(js) == 2
+
+
+class TestAggregates:
+    def test_total_work_vector(self):
+        js = two_jobs()
+        assert js.total_work_vector().tolist() == [4, 2]
+
+    def test_work_matrix(self):
+        js = two_jobs()
+        assert js.work_matrix().tolist() == [[1, 1], [3, 1]]
+
+    def test_aggregate_span(self):
+        js = two_jobs()
+        assert js.aggregate_span() == 2 + 1
+
+    def test_max_release_plus_span(self):
+        js = two_jobs()
+        assert js.max_release_plus_span() == max(0 + 2, 4 + 1)
+
+    def test_is_batched(self):
+        js = two_jobs()
+        assert not js.is_batched()
+        batched = JobSet.from_dags([builders.chain([0], 1)])
+        assert batched.is_batched()
+
+    def test_release_times_and_spans(self):
+        js = two_jobs()
+        assert js.release_times().tolist() == [0, 4]
+        assert js.spans().tolist() == [2, 1]
+
+    def test_container_protocol(self):
+        js = two_jobs()
+        assert len(js) == 2
+        assert js[0].job_id == 0
+        assert [j.job_id for j in js] == [0, 1]
+        assert js.num_categories == 2
+        assert len(js.jobs) == 2
+
+
+class TestFreshCopy:
+    def test_fresh_copy_is_unexecuted(self):
+        js = two_jobs()
+        js[0].execute(np.asarray([1, 0]), __import__("repro").FIFO)
+        copy = js.fresh_copy()
+        assert copy[0].remaining_work_vector().tolist() == [1, 1]
+        # original untouched by the copy
+        assert js[0].remaining_work_vector().tolist() == [0, 1]

@@ -1,0 +1,66 @@
+"""Tests for the per-job state timeline renderer."""
+
+from repro.dag import builders
+from repro.jobs import JobSet
+from repro.machine import KResourceMachine
+from repro.schedulers import GreedyFcfs, KRad
+from repro.sim import simulate
+from repro.sim.trace import Trace
+from repro.viz import render_job_states
+
+
+def grid_rows(out: str) -> dict[int, str]:
+    rows = {}
+    for line in out.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("j") and "|" in line:
+            jid = int(stripped.split("|")[0].strip()[1:])
+            rows[jid] = line.split("|")[1]
+    return rows
+
+
+class TestRenderJobStates:
+    def test_empty(self):
+        assert "empty" in render_job_states(Trace(1, (1,)))
+
+    def test_light_load_is_all_satisfied(self):
+        machine = KResourceMachine((8,))
+        js = JobSet.from_dags([builders.chain([0] * 4, 1)])
+        r = simulate(machine, KRad(), js, record_trace=True)
+        rows = grid_rows(render_job_states(r.trace))
+        assert rows[0] == "####"
+
+    def test_fcfs_starves_late_jobs_visibly(self):
+        machine = KResourceMachine((1,))
+        js = JobSet.from_dags(
+            [builders.chain([0] * 5, 1), builders.chain([0] * 5, 1)]
+        )
+        r = simulate(machine, GreedyFcfs(), js, record_trace=True)
+        rows = grid_rows(render_job_states(r.trace))
+        assert rows[0] == "#####" + " " * 5
+        assert rows[1] == "." * 5 + "#####"
+
+    def test_arrival_shows_blank_prefix(self):
+        machine = KResourceMachine((2,))
+        js = JobSet.from_dags(
+            [builders.chain([0], 1), builders.chain([0], 1)],
+            release_times=[0, 3],
+        )
+        r = simulate(machine, KRad(), js, record_trace=True)
+        rows = grid_rows(render_job_states(r.trace))
+        assert rows[1].startswith("   ")  # not in system for steps 1..3
+
+    def test_deprived_marker(self):
+        machine = KResourceMachine((2,))
+        js = JobSet.from_dags([builders.independent_tasks([8])])
+        r = simulate(machine, KRad(), js, record_trace=True)
+        rows = grid_rows(render_job_states(r.trace))
+        assert "+" in rows[0]  # desire 8 > capacity 2
+
+    def test_truncation(self):
+        machine = KResourceMachine((1,))
+        js = JobSet.from_dags([builders.chain([0] * 12, 1)])
+        r = simulate(machine, KRad(), js, record_trace=True)
+        out = render_job_states(r.trace, max_steps=4)
+        assert "truncated" in out
+        assert grid_rows(out)[0] == "####"

@@ -1,0 +1,131 @@
+"""Unit tests for the K-RAD scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad, Rad, check_allotments
+
+
+def desires(d):
+    """Helper: dict job_id -> list to dict job_id -> ndarray."""
+    return {jid: np.asarray(v, dtype=np.int64) for jid, v in d.items()}
+
+
+class TestKRad:
+    def test_requires_reset(self):
+        with pytest.raises(ScheduleError):
+            KRad().allocate(1, desires({0: [1]}))
+
+    def test_independent_categories(self):
+        machine = KResourceMachine((2, 4))
+        sched = KRad()
+        sched.reset(machine)
+        # category 0 overloaded (3 active > 2), category 1 light (2 active)
+        d = desires({0: [1, 3], 1: [1, 5], 2: [1, 0]})
+        alloc = sched.allocate(1, d)
+        check_allotments(machine, d, alloc)
+        # category 0 in RR: exactly one processor each to first two jobs;
+        # job 2 gets nothing there (sparse output may omit its row)
+        assert alloc[0][0] == 1 and alloc[1][0] == 1
+        assert alloc.get(2, np.zeros(2))[0] == 0
+        assert sched.category_state(0).in_rr_cycle()
+        # category 1 in DEQ: full desires fit? 1+5 > 4 -> deprived split
+        assert alloc[0][1] + alloc[1][1] == 4
+        assert not sched.category_state(1).in_rr_cycle()
+
+    def test_light_load_equals_deq(self):
+        machine = KResourceMachine((8, 8))
+        sched = KRad()
+        sched.reset(machine)
+        d = desires({0: [3, 1], 1: [2, 2]})
+        alloc = sched.allocate(1, d)
+        assert alloc[0].tolist() == [3, 1]
+        assert alloc[1].tolist() == [2, 2]
+
+    def test_capacity_never_exceeded_over_time(self):
+        machine = KResourceMachine((3, 2))
+        sched = KRad()
+        sched.reset(machine)
+        rng = np.random.default_rng(0)
+        ids = list(range(6))
+        for t in range(1, 50):
+            d = desires({i: rng.integers(0, 5, size=2) for i in ids})
+            alloc = sched.allocate(t, d)
+            check_allotments(machine, d, alloc)
+
+    def test_prunes_completed_jobs(self):
+        machine = KResourceMachine((2,))
+        sched = KRad()
+        sched.reset(machine)
+        sched.allocate(1, desires({0: [1], 1: [1], 2: [1]}))
+        sched.allocate(2, desires({1: [1]}))  # 0 and 2 completed
+        assert sched.category_state(0).queue_order == (1,)
+
+    def test_reset_clears_state(self):
+        machine = KResourceMachine((2,))
+        sched = KRad()
+        sched.reset(machine)
+        sched.allocate(1, desires({0: [1], 1: [1], 2: [1]}))
+        sched.reset(machine)
+        assert sched.category_state(0).queue_order == ()
+        assert not sched.category_state(0).in_rr_cycle()
+
+    def test_name(self):
+        assert KRad().name == "k-rad"
+
+
+class TestRadK1:
+    def test_rejects_multi_category_machine(self):
+        with pytest.raises(ValueError):
+            Rad().reset(KResourceMachine((2, 2)))
+
+    def test_matches_krad_on_k1(self):
+        machine = KResourceMachine((3,))
+        rad, krad = Rad(), KRad()
+        rad.reset(machine)
+        krad.reset(machine)
+        rng = np.random.default_rng(1)
+        ids = list(range(5))
+        for t in range(1, 40):
+            d = desires({i: [int(rng.integers(0, 4))] for i in ids})
+            a = rad.allocate(t, d)
+            b = krad.allocate(t, d)
+            a_full = {i: a.get(i, np.zeros(1)).tolist() for i in ids}
+            b_full = {i: b.get(i, np.zeros(1)).tolist() for i in ids}
+            assert a_full == b_full
+
+
+class TestCheckAllotments:
+    def test_unknown_job_rejected(self):
+        machine = KResourceMachine((2,))
+        with pytest.raises(ScheduleError):
+            check_allotments(machine, desires({0: [1]}), desires({1: [1]}))
+
+    def test_over_desire_rejected(self):
+        machine = KResourceMachine((2,))
+        with pytest.raises(ScheduleError):
+            check_allotments(machine, desires({0: [1]}), desires({0: [2]}))
+
+    def test_over_capacity_rejected(self):
+        machine = KResourceMachine((2,))
+        d = desires({0: [2], 1: [2]})
+        with pytest.raises(ScheduleError):
+            check_allotments(machine, d, d)
+
+    def test_negative_rejected(self):
+        machine = KResourceMachine((2,))
+        with pytest.raises(ScheduleError):
+            check_allotments(
+                machine, desires({0: [1]}), desires({0: [-1]})
+            )
+
+    def test_wrong_shape_rejected(self):
+        machine = KResourceMachine((2, 2))
+        with pytest.raises(ScheduleError):
+            check_allotments(machine, desires({0: [1, 1]}), desires({0: [1]}))
+
+    def test_partial_allotment_ok(self):
+        machine = KResourceMachine((2,))
+        check_allotments(machine, desires({0: [1], 1: [1]}), desires({0: [1]}))

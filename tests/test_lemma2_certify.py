@@ -1,0 +1,76 @@
+"""Tests for the Lemma-2 proof-decomposition certifier."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dag import builders
+from repro.errors import ReproError
+from repro.jobs import JobSet, workloads
+from repro.machine import KResourceMachine
+from repro.theory.lemma2_certify import certify_lemma2
+
+
+class TestCertifyLemma2:
+    def test_random_dag_runs_certify(self, machine2, rng):
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=15)
+        cert = certify_lemma2(machine2, js)
+        assert cert.all_hold
+        assert cert.partition_ok
+        assert (
+            cert.release_steps + cert.satisfied_steps + cert.deprived_steps
+            == cert.makespan
+        ) or cert.makespan >= cert.release_steps  # last job may finish early
+
+    def test_phase_jobs_certify(self, machine2, rng):
+        js = workloads.random_phase_jobset(rng, 2, 8, max_work=20)
+        assert certify_lemma2(machine2, js).all_hold
+
+    def test_single_chain_all_satisfied(self):
+        machine = KResourceMachine((4,))
+        js = JobSet.from_dags([builders.chain([0] * 6, 1)])
+        cert = certify_lemma2(machine, js)
+        assert cert.all_hold
+        assert cert.satisfied_steps == 6
+        assert cert.deprived_steps == 0
+        assert cert.span_of_last_job == 6
+
+    def test_contended_run_has_deprived_steps(self):
+        machine = KResourceMachine((2,))
+        js = JobSet.from_dags(
+            [builders.independent_tasks([10]) for _ in range(3)]
+        )
+        cert = certify_lemma2(machine, js)
+        assert cert.all_hold
+        assert cert.deprived_steps > 0
+
+    def test_releases_counted(self, machine2):
+        js = JobSet.from_dags(
+            [builders.chain([0] * 30, 2), builders.chain([0, 1], 2)],
+            release_times=[0, 5],
+        )
+        cert = certify_lemma2(machine2, js)
+        # the tiny late job finishes long before the big chain, so the big
+        # chain is the last job; its release is 0
+        assert cert.all_hold
+
+    def test_rejects_idle_runs(self, machine2):
+        js = JobSet.from_dags(
+            [builders.chain([0], 2), builders.chain([0], 2)],
+            release_times=[0, 100],
+        )
+        with pytest.raises(ReproError, match="idle"):
+            certify_lemma2(machine2, js)
+
+    @given(st.integers(0, 2**31))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_property_random_workloads(self, seed):
+        machine = KResourceMachine((3, 2))
+        rng = np.random.default_rng(seed)
+        js = workloads.random_dag_jobset(rng, 2, 5, size_hint=10)
+        assert certify_lemma2(machine, js).all_hold

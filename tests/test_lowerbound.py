@@ -1,0 +1,108 @@
+"""Unit tests for the Figure-3 lower-bound construction."""
+
+import pytest
+
+from repro.dag.lowerbound import (
+    adversarial_makespan,
+    figure3_instance,
+    figure3_special_job,
+    homogeneous_lower_bound_job,
+    optimal_makespan,
+)
+from repro.errors import DagError
+
+
+class TestSpecialJob:
+    def test_span_formula(self):
+        # T_inf = K + m*P_K - 1
+        for caps in [(2, 2), (2, 3, 4), (1, 1, 2, 4)]:
+            for m in (1, 2, 3):
+                dag = figure3_special_job(m, caps)
+                assert dag.span() == len(caps) + m * caps[-1] - 1
+
+    def test_level_sizes_k3(self):
+        caps = (2, 3, 4)
+        m = 2
+        dag = figure3_special_job(m, caps)
+        work = dag.work_vector()
+        pk = caps[-1]
+        assert work[0] == 1  # level 1: one 1-task
+        assert work[1] == m * caps[1] * pk  # level 2
+        # level K: m*PK*(PK-1)+1 plus the chain of m*PK-1
+        assert work[2] == m * pk * (pk - 1) + 1 + (m * pk - 1)
+
+    def test_k2_has_no_middle_levels(self):
+        caps = (3, 4)
+        m = 1
+        dag = figure3_special_job(m, caps)
+        work = dag.work_vector()
+        assert work[0] == 1
+        assert work[1] == 4 * 3 + 1 + 3
+
+    def test_is_valid_dag(self):
+        dag = figure3_special_job(2, (2, 2, 4))
+        dag.validate()
+
+    def test_rejects_k1(self):
+        with pytest.raises(DagError):
+            figure3_special_job(1, (4,))
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(DagError):
+            figure3_special_job(0, (2, 2))
+
+    def test_rejects_last_category_not_pmax(self):
+        with pytest.raises(DagError):
+            figure3_special_job(1, (4, 2))
+
+
+class TestInstance:
+    def test_job_count(self):
+        inst = figure3_instance(2, (3, 4))
+        assert inst.num_jobs == 2 * 3 * 4
+
+    def test_special_job_is_last(self):
+        inst = figure3_instance(1, (2, 2))
+        assert inst.special_index == inst.num_jobs - 1
+        special = inst.dags[inst.special_index]
+        assert special.span() > 1
+        for filler in inst.dags[:-1]:
+            assert filler.num_vertices == 1
+            assert filler.category(0) == 0
+
+    def test_closed_forms(self):
+        inst = figure3_instance(3, (2, 2, 4))
+        assert inst.optimal_makespan == 3 + 3 * 4 - 1
+        assert inst.adversarial_makespan == 3 * 3 * 4 + 3 * 4 - 3
+
+    def test_closed_form_functions_match_properties(self):
+        m, caps = 2, (2, 4)
+        inst = figure3_instance(m, caps)
+        assert inst.optimal_makespan == optimal_makespan(m, caps)
+        assert inst.adversarial_makespan == adversarial_makespan(m, caps)
+
+    def test_ratio_approaches_limit(self):
+        caps = (2, 2, 4)
+        K, pk = len(caps), caps[-1]
+        limit = K + 1 - 1 / pk
+        ratios = [
+            adversarial_makespan(m, caps) / optimal_makespan(m, caps)
+            for m in (1, 10, 100, 1000)
+        ]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] == pytest.approx(limit, rel=1e-2)
+
+
+class TestHomogeneous:
+    def test_structure(self):
+        m, p = 2, 4
+        dag = homogeneous_lower_bound_job(m, p)
+        assert dag.num_categories == 1
+        assert dag.total_work() == m * p * (p - 1) + 1 + m * p - 1
+        assert dag.span() == m * p  # head + chain
+
+    def test_validation(self):
+        with pytest.raises(DagError):
+            homogeneous_lower_bound_job(0, 2)
+        with pytest.raises(DagError):
+            homogeneous_lower_bound_job(1, 0)

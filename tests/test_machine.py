@@ -1,0 +1,86 @@
+"""Unit tests for the K-resource machine model."""
+
+import pytest
+
+from repro.errors import CategoryError
+from repro.machine import KResourceMachine, homogeneous_machine
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = KResourceMachine((4, 2), names=("cpu", "io"))
+        assert m.num_categories == 2
+        assert m.capacities == (4, 2)
+        assert m.names == ("cpu", "io")
+        assert m.pmax == 4
+        assert m.total_processors == 6
+
+    def test_default_names(self):
+        m = KResourceMachine((1, 1, 1))
+        assert m.names == ("cpu", "vector", "io")
+
+    def test_many_categories_get_generated_names(self):
+        m = KResourceMachine(tuple([1] * 10))
+        assert m.names[-1] == "cat9"
+        assert len(set(m.names)) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(CategoryError):
+            KResourceMachine(())
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CategoryError):
+            KResourceMachine((4, 0))
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(CategoryError):
+            KResourceMachine((1, 2), names=("only-one",))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CategoryError):
+            KResourceMachine((1, 2), names=("x", "x"))
+
+
+class TestAccessors:
+    def test_capacity_lookup(self):
+        m = KResourceMachine((4, 2))
+        assert m.capacity(0) == 4
+        assert m.capacity(1) == 2
+        with pytest.raises(CategoryError):
+            m.capacity(2)
+
+    def test_capacity_vector_is_copy(self):
+        m = KResourceMachine((4, 2))
+        v = m.capacity_vector()
+        v[0] = 99
+        assert m.capacity(0) == 4
+
+    def test_category_index(self):
+        m = KResourceMachine((4, 2), names=("cpu", "io"))
+        assert m.category_index("io") == 1
+        with pytest.raises(CategoryError):
+            m.category_index("gpu")
+
+    def test_iteration(self):
+        m = KResourceMachine((4, 2), names=("cpu", "io"))
+        assert list(m) == [(0, "cpu", 4), (1, "io", 2)]
+
+    def test_equality_and_hash(self):
+        a = KResourceMachine((4, 2), names=("cpu", "io"))
+        b = KResourceMachine((4, 2), names=("cpu", "io"))
+        c = KResourceMachine((4, 2), names=("cpu", "nic"))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a machine"
+
+    def test_repr(self):
+        m = KResourceMachine((4, 2), names=("cpu", "io"))
+        assert "cpu=4" in repr(m)
+
+
+class TestHomogeneous:
+    def test_single_category(self):
+        m = homogeneous_machine(8)
+        assert m.num_categories == 1
+        assert m.pmax == 8
+        assert m.names == ("cpu",)

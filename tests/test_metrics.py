@@ -1,0 +1,91 @@
+"""Tests for derived metrics (slowdowns, summaries) and the differential
+property that K-RAD equals K-DEQ under light workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import builders
+from repro.errors import ReproError
+from repro.jobs import JobSet, workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import KDeq, KRad
+from repro.sim import simulate, slowdowns, summarize_result
+
+
+class TestSlowdowns:
+    def test_isolated_job_has_slowdown_one(self, machine2):
+        js = JobSet.from_dags([builders.chain([0, 1, 0], 2)])
+        r = simulate(machine2, KRad(), js)
+        assert slowdowns(r, js) == {0: 1.0}
+
+    def test_contended_jobs_stretch(self):
+        machine = KResourceMachine((1,))
+        js = JobSet.from_dags(
+            [builders.chain([0] * 4, 1), builders.chain([0] * 4, 1)]
+        )
+        r = simulate(machine, KRad(), js)
+        slow = slowdowns(r, js)
+        assert max(slow.values()) > 1.0
+
+    def test_job_set_mismatch_rejected(self, machine2, rng):
+        js = workloads.random_dag_jobset(rng, 2, 3)
+        r = simulate(machine2, KRad(), js)
+        other = JobSet.from_dags([builders.chain([0], 2)])
+        with pytest.raises(ReproError):
+            slowdowns(r, other)
+
+
+class TestSummarizeResult:
+    def test_summary_fields(self, machine2, rng):
+        js = workloads.random_phase_jobset(rng, 2, 8)
+        r = simulate(machine2, KRad(), js)
+        s = summarize_result(r, js)
+        assert s.scheduler == "k-rad"
+        assert s.makespan == r.makespan
+        assert s.mean_response_time == pytest.approx(r.mean_response_time)
+        assert (
+            s.median_response_time
+            <= s.p95_response_time
+            <= s.max_response_time
+        )
+        assert s.mean_slowdown >= 1.0
+        assert 0 < s.response_fairness <= 1.0
+        assert len(s.utilization) == 2
+
+    def test_as_row_matches_headers(self, machine2, rng):
+        js = workloads.random_phase_jobset(rng, 2, 4)
+        s = summarize_result(simulate(machine2, KRad(), js), js)
+        assert len(s.as_row()) == len(s.ROW_HEADERS)
+
+
+class TestLightWorkloadEquivalence:
+    """Under light workload K-RAD never opens a round-robin cycle, so it
+    must behave *identically* to DEQ-only scheduling — a strong
+    differential test of both implementations."""
+
+    @given(st.integers(0, 2**31), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_krad_equals_kdeq_when_light(self, seed, n):
+        machine = KResourceMachine((8, 8))
+        rng = np.random.default_rng(seed)
+        js = workloads.light_phase_jobset(rng, machine, min(n, 8))
+        a = simulate(machine, KRad(), js)
+        b = simulate(machine, KDeq(), js)
+        assert a.makespan == b.makespan
+        assert a.completion_times == b.completion_times
+
+    def test_divergence_under_heavy_load_is_possible(self):
+        """The equivalence is a light-load property, not an identity."""
+        machine = KResourceMachine((2,))
+        from repro.jobs import Phase, PhaseJob
+
+        jobs = [
+            PhaseJob([Phase([6], [2])], job_id=i) for i in range(5)
+        ]
+        js = JobSet(jobs)
+        a = simulate(machine, KRad(), js)
+        b = simulate(machine, KDeq(), js)
+        # both complete all work; traces may differ in RR vs rotation order
+        assert a.makespan >= 15 and b.makespan >= 15

@@ -1,0 +1,90 @@
+"""Tests for the exact optimal-makespan solver."""
+
+import numpy as np
+import pytest
+
+from repro.dag import KDag, builders, figure3_instance
+from repro.errors import ReproError
+from repro.jobs import JobSet, Phase, PhaseJob, workloads
+from repro.machine import KResourceMachine
+from repro.theory.optimal import optimal_makespan_exact
+from repro.theory.bounds import makespan_lower_bound
+
+
+class TestExactSolver:
+    def test_single_chain(self):
+        machine = KResourceMachine((2,))
+        js = JobSet.from_dags([builders.chain([0] * 5, 1)])
+        assert optimal_makespan_exact(machine, js) == 5
+
+    def test_independent_tasks_pack_perfectly(self):
+        machine = KResourceMachine((3,))
+        js = JobSet.from_dags([builders.independent_tasks([7])])
+        assert optimal_makespan_exact(machine, js) == 3  # ceil(7/3)
+
+    def test_two_categories_overlap(self):
+        # cat-0 chain and cat-1 chain run concurrently
+        machine = KResourceMachine((1, 1))
+        js = JobSet.from_dags(
+            [builders.chain([0] * 4, 2), builders.chain([1] * 4, 2)]
+        )
+        assert optimal_makespan_exact(machine, js) == 4
+
+    def test_fork_join(self):
+        machine = KResourceMachine((2,))
+        js = JobSet.from_dags([builders.fork_join(4, 0, 1)])
+        # fork 1 step, 4 bodies on 2 procs = 2 steps, join 1 step
+        assert optimal_makespan_exact(machine, js) == 4
+
+    def test_beats_or_equals_lower_bound(self, rng):
+        machine = KResourceMachine((2, 1))
+        for _ in range(10):
+            js = workloads.random_dag_jobset(rng, 2, 3, size_hint=4)
+            if int(js.total_work_vector().sum()) > 12:
+                continue
+            opt = optimal_makespan_exact(machine, js)
+            assert opt >= makespan_lower_bound(js, machine) - 1e-9
+
+    def test_figure3_m1_matches_closed_form(self):
+        inst = figure3_instance(1, (2, 2))
+        machine = KResourceMachine((2, 2))
+        js = JobSet.from_dags(inst.dags)
+        assert optimal_makespan_exact(machine, js) == inst.optimal_makespan
+
+    def test_empty_jobs(self):
+        machine = KResourceMachine((1,))
+        dag = KDag(1)  # zero tasks
+        js = JobSet.from_dags([dag])
+        assert optimal_makespan_exact(machine, js) == 0
+
+    def test_rejects_non_batched(self):
+        machine = KResourceMachine((1,))
+        js = JobSet.from_dags([builders.chain([0], 1)], release_times=[3])
+        with pytest.raises(ReproError):
+            optimal_makespan_exact(machine, js)
+
+    def test_rejects_phase_jobs(self):
+        machine = KResourceMachine((1,))
+        js = JobSet([PhaseJob([Phase([2], [1])], job_id=0)])
+        with pytest.raises(ReproError):
+            optimal_makespan_exact(machine, js)
+
+    def test_state_budget_guard(self):
+        machine = KResourceMachine((2, 2))
+        rng = np.random.default_rng(0)
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=30)
+        with pytest.raises(ReproError, match="states"):
+            optimal_makespan_exact(machine, js, max_states=50)
+
+    def test_optimal_never_above_any_schedule(self, rng):
+        from repro.schedulers import KRad
+        from repro.sim import simulate
+
+        machine = KResourceMachine((2, 1))
+        for _ in range(8):
+            js = workloads.random_dag_jobset(rng, 2, 2, size_hint=4)
+            if int(js.total_work_vector().sum()) > 12:
+                continue
+            opt = optimal_makespan_exact(machine, js)
+            r = simulate(machine, KRad(), js)
+            assert opt <= r.makespan

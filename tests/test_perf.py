@@ -1,0 +1,120 @@
+"""Unit tests for the performance-heterogeneity extension."""
+
+import numpy as np
+import pytest
+
+from repro.dag import builders
+from repro.errors import CategoryError, ReproError, SimulationError
+from repro.jobs import JobSet, Phase, PhaseJob, workloads
+from repro.machine import KResourceMachine
+from repro.perf import (
+    SpeedMachine,
+    job_weighted_span,
+    simulate_speeds,
+    speed_makespan_lower_bound,
+    weighted_span,
+)
+from repro.schedulers import KRad
+from repro.sim import simulate
+
+
+class TestSpeedMachine:
+    def test_basic(self):
+        m = SpeedMachine((4, 2), (1, 3), names=("cpu", "vector"))
+        assert m.speeds == (1, 3)
+        assert m.max_speed == 3
+        assert m.speed(1) == 3
+        assert m.throughput_vector().tolist() == [4, 6]
+        assert m.capacities == (4, 2)
+        assert m.base.num_categories == 2
+
+    def test_validation(self):
+        with pytest.raises(CategoryError):
+            SpeedMachine((4, 2), (1,))
+        with pytest.raises(CategoryError):
+            SpeedMachine((4,), (0,))
+        with pytest.raises(CategoryError):
+            SpeedMachine((4,), (1,)).speed(1)
+
+
+class TestWeightedSpan:
+    def test_unit_speeds_equal_span(self):
+        dag = builders.chain([0, 1, 0], 2)
+        assert weighted_span(dag, (1, 1)) == dag.span()
+
+    def test_mixed_speeds(self):
+        dag = builders.chain([0, 1, 0], 2)
+        # path cost 1/1 + 1/2 + 1/1 = 2.5
+        assert weighted_span(dag, (1, 2)) == pytest.approx(2.5)
+
+    def test_picks_heaviest_path(self):
+        dag = builders.fork_join(2, 1, 2, fork_category=0, join_category=0)
+        # path: fork(0) -> body(1) -> join(0) = 1 + 1/4 + 1 with speed 4
+        assert weighted_span(dag, (1, 4)) == pytest.approx(2.25)
+
+    def test_empty_dag(self):
+        from repro.dag import KDag
+
+        assert weighted_span(KDag(1), (2,)) == 0.0
+
+    def test_speed_count_validated(self):
+        dag = builders.chain([0], 1)
+        with pytest.raises(ReproError):
+            weighted_span(dag, (1, 1))
+
+    def test_phase_job_conservative(self):
+        job = PhaseJob([Phase([4, 0], [2, 1])])
+        assert job_weighted_span(job, (2, 4)) == pytest.approx(job.span() / 4)
+
+
+class TestSpeedEngine:
+    def test_unit_speeds_reduce_to_base_engine(self, rng):
+        caps = (4, 2, 8)
+        js = workloads.random_dag_jobset(rng, 3, 6)
+        a = simulate(KResourceMachine(caps), KRad(), js)
+        b = simulate_speeds(SpeedMachine(caps, (1, 1, 1)), KRad(), js)
+        assert a.makespan == b.makespan
+        assert a.completion_times == b.completion_times
+
+    def test_chain_speedup_is_exact(self):
+        # a serial chain of 12 category-0 tasks at speed 3 -> 4 steps
+        dag = builders.chain([0] * 12, 1)
+        js = JobSet.from_dags([dag])
+        m = SpeedMachine((2,), (3,))
+        r = simulate_speeds(m, KRad(), js)
+        assert r.makespan == 4
+
+    def test_wide_work_speedup_is_exact(self):
+        # 24 independent tasks, 2 procs at speed 3 -> 24 / 6 = 4 steps
+        dag = builders.independent_tasks([24])
+        js = JobSet.from_dags([dag])
+        r = simulate_speeds(SpeedMachine((2,), (3,)), KRad(), js)
+        assert r.makespan == 4
+
+    def test_speed_never_hurts(self, rng):
+        caps = (4, 2)
+        js = workloads.random_dag_jobset(rng, 2, 6)
+        slow = simulate_speeds(SpeedMachine(caps, (1, 1)), KRad(), js)
+        fast = simulate_speeds(SpeedMachine(caps, (2, 3)), KRad(), js)
+        assert fast.makespan <= slow.makespan
+
+    def test_lower_bound_respected(self, rng):
+        m = SpeedMachine((4, 2), (2, 3))
+        js = workloads.random_dag_jobset(rng, 2, 5)
+        r = simulate_speeds(m, KRad(), js)
+        assert r.makespan >= speed_makespan_lower_bound(js, m) - 1e-9
+
+    def test_k_mismatch_rejected(self, rng):
+        js = workloads.random_dag_jobset(rng, 2, 2)
+        with pytest.raises(SimulationError):
+            simulate_speeds(SpeedMachine((4,), (1,)), KRad(), js)
+
+    def test_phase_jobs_supported(self):
+        js = JobSet([PhaseJob([Phase([12], [4])], job_id=0)])
+        r = simulate_speeds(SpeedMachine((4,), (3,)), KRad(), js)
+        assert r.makespan == 1  # 4 procs x 3 speed = 12 units in one step
+
+    def test_lb_k_mismatch_rejected(self, rng):
+        js = workloads.random_dag_jobset(rng, 2, 2)
+        with pytest.raises(ReproError):
+            speed_makespan_lower_bound(js, SpeedMachine((4,), (1,)))

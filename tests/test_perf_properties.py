@@ -1,0 +1,71 @@
+"""Property-based tests for the performance-heterogeneity engine."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.perf import SpeedMachine, simulate_speeds, speed_makespan_lower_bound
+from repro.schedulers import KRad
+from repro.sim import simulate
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def speed_case(draw):
+    k = draw(st.integers(1, 3))
+    caps = tuple(draw(st.integers(1, 4)) for _ in range(k))
+    speeds = tuple(draw(st.integers(1, 4)) for _ in range(k))
+    seed = draw(st.integers(0, 2**31))
+    n = draw(st.integers(1, 5))
+    rng = np.random.default_rng(seed)
+    js = workloads.random_dag_jobset(rng, k, n, size_hint=6)
+    return caps, speeds, js
+
+
+class TestSpeedProperties:
+    @given(speed_case())
+    @_SETTINGS
+    def test_unit_speed_equivalence(self, case):
+        caps, _, js = case
+        a = simulate(KResourceMachine(caps), KRad(), js)
+        b = simulate_speeds(
+            SpeedMachine(caps, tuple(1 for _ in caps)), KRad(), js
+        )
+        assert a.makespan == b.makespan
+        assert a.completion_times == b.completion_times
+
+    @given(speed_case())
+    @_SETTINGS
+    def test_lower_bound_respected(self, case):
+        caps, speeds, js = case
+        machine = SpeedMachine(caps, speeds)
+        r = simulate_speeds(machine, KRad(), js)
+        assert r.makespan >= speed_makespan_lower_bound(js, machine) - 1e-9
+
+    @given(speed_case())
+    @_SETTINGS
+    def test_uniform_speedup_monotone(self, case):
+        """Doubling every speed never slows the schedule down."""
+        caps, speeds, js = case
+        slow = simulate_speeds(SpeedMachine(caps, speeds), KRad(), js)
+        fast = simulate_speeds(
+            SpeedMachine(caps, tuple(2 * s for s in speeds)), KRad(), js
+        )
+        assert fast.makespan <= slow.makespan
+
+    @given(speed_case())
+    @_SETTINGS
+    def test_all_work_completes(self, case):
+        caps, speeds, js = case
+        machine = SpeedMachine(caps, speeds)
+        r = simulate_speeds(machine, KRad(), js)
+        assert set(r.completion_times) == {j.job_id for j in js}
+        assert r.busy.tolist() == js.total_work_vector().tolist()

@@ -1,0 +1,106 @@
+"""Unit tests for execution-order policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.jobs.policies import (
+    CP_FIRST,
+    CP_LAST,
+    FIFO,
+    LIFO,
+    RandomOrder,
+    policy_by_name,
+)
+
+
+@pytest.fixture
+def depth():
+    # task id -> remaining critical path
+    return np.asarray([5, 1, 3, 2, 4])
+
+
+class TestFifoLifo:
+    def test_fifo_takes_front(self):
+        chosen, remaining = FIFO.select([3, 1, 4, 1], 2, None, None)
+        assert chosen == [3, 1]
+        assert remaining == [4, 1]
+
+    def test_lifo_takes_back_newest_first(self):
+        chosen, remaining = LIFO.select([3, 1, 4, 2], 2, None, None)
+        assert chosen == [2, 4]
+        assert remaining == [3, 1]
+
+    def test_zero_count(self):
+        assert FIFO.select([1, 2], 0, None, None) == ([], [1, 2])
+        assert LIFO.select([1, 2], 0, None, None) == ([], [1, 2])
+
+    def test_overdraw_rejected(self):
+        with pytest.raises(ScheduleError):
+            FIFO.select([1], 2, None, None)
+
+
+class TestCriticalPath:
+    def test_cp_first_picks_deepest(self, depth):
+        chosen, remaining = CP_FIRST.select([0, 1, 2, 3, 4], 2, depth, None)
+        assert chosen == [0, 4]  # depths 5 and 4
+        assert remaining == [1, 2, 3]
+
+    def test_cp_last_picks_shallowest(self, depth):
+        chosen, remaining = CP_LAST.select([0, 1, 2, 3, 4], 2, depth, None)
+        assert chosen == [1, 3]  # depths 1 and 2
+        assert remaining == [0, 2, 4]
+
+    def test_tie_break_on_id(self):
+        depth = np.asarray([2, 2, 2])
+        chosen, _ = CP_FIRST.select([2, 0, 1], 2, depth, None)
+        assert chosen == [0, 1]
+
+    def test_remaining_preserves_order(self, depth):
+        _, remaining = CP_LAST.select([4, 2, 0, 1, 3], 2, depth, None)
+        assert remaining == [4, 2, 0]
+
+    def test_full_take_shortcut(self, depth):
+        chosen, remaining = CP_FIRST.select([1, 0], 2, depth, None)
+        assert chosen == [1, 0]
+        assert remaining == []
+
+    def test_requires_priority(self):
+        with pytest.raises(ScheduleError):
+            CP_FIRST.select([0, 1], 1, None, None)
+
+    def test_needs_priority_flag(self):
+        assert CP_FIRST.needs_priority and CP_LAST.needs_priority
+        assert not FIFO.needs_priority and not LIFO.needs_priority
+
+
+class TestRandom:
+    def test_requires_rng(self):
+        with pytest.raises(ScheduleError):
+            RandomOrder().select([1, 2], 1, None, None)
+
+    def test_partition_is_exact(self):
+        rng = np.random.default_rng(0)
+        ready = list(range(10))
+        chosen, remaining = RandomOrder().select(ready, 4, None, rng)
+        assert len(chosen) == 4
+        assert sorted(chosen + remaining) == ready
+
+    def test_deterministic_given_seed(self):
+        r1 = RandomOrder().select(list(range(8)), 3, None, np.random.default_rng(5))
+        r2 = RandomOrder().select(list(range(8)), 3, None, np.random.default_rng(5))
+        assert r1 == r2
+
+    def test_zero_count(self):
+        rng = np.random.default_rng(0)
+        assert RandomOrder().select([1], 0, None, rng) == ([], [1])
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert policy_by_name("fifo") is FIFO
+        assert policy_by_name("cp-last") is CP_LAST
+
+    def test_unknown_name(self):
+        with pytest.raises(ScheduleError):
+            policy_by_name("nope")

@@ -1,0 +1,61 @@
+"""Unit tests for SimulationResult."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.results import SimulationResult
+
+
+def make_result(**overrides):
+    kwargs = dict(
+        scheduler_name="test",
+        num_jobs=2,
+        capacities=(4, 2),
+        makespan=10,
+        completion_times={0: 5, 1: 10},
+        release_times={0: 0, 1: 2},
+        idle_steps=0,
+        busy=np.asarray([12, 6]),
+        trace=None,
+    )
+    kwargs.update(overrides)
+    return SimulationResult(**kwargs)
+
+
+class TestMetrics:
+    def test_response_times(self):
+        r = make_result()
+        assert r.response_time(0) == 5
+        assert r.response_time(1) == 8
+        assert r.response_times() == {0: 5, 1: 8}
+        assert r.total_response_time == 13
+        assert r.mean_response_time == 6.5
+
+    def test_utilization(self):
+        r = make_result()
+        assert r.utilization(0) == 12 / 40
+        assert r.utilization(1) == 6 / 20
+        assert r.utilization_vector().tolist() == [0.3, 0.3]
+
+    def test_num_categories(self):
+        assert make_result().num_categories == 2
+
+    def test_summary_contains_key_numbers(self):
+        s = make_result().summary()
+        assert "makespan=10" in s
+        assert "test" in s
+
+
+class TestInvariants:
+    def test_negative_makespan_rejected(self):
+        with pytest.raises(SimulationError):
+            make_result(makespan=-1)
+
+    def test_completion_before_release_rejected(self):
+        with pytest.raises(SimulationError):
+            make_result(completion_times={0: 0, 1: 10})
+
+    def test_mismatched_job_sets_rejected(self):
+        with pytest.raises(SimulationError):
+            make_result(completion_times={0: 5})

@@ -1,0 +1,123 @@
+"""Unit and property tests for squashed sums and Lemma 4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.theory.squashed import (
+    aggregate_span,
+    check_lemma4,
+    lemma4_rhs,
+    squashed_sum,
+    squashed_work_area,
+    squashed_work_areas,
+)
+
+
+class TestSquashedSum:
+    def test_definition_by_hand(self):
+        # <2, 1, 3> sorted = 1,2,3; weights 3,2,1 -> 3+4+3 = 10
+        assert squashed_sum([2, 1, 3]) == 10
+
+    def test_empty(self):
+        assert squashed_sum([]) == 0.0
+
+    def test_single(self):
+        assert squashed_sum([7]) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            squashed_sum([-1])
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_equation4_minimum_over_permutations(self, values):
+        """Definition 4's sort is the argmin of Equation 4's formulation."""
+        rng = np.random.default_rng(0)
+        m = len(values)
+        target = squashed_sum(values)
+        weights = np.arange(m, 0, -1)
+        for _ in range(20):
+            perm = rng.permutation(m)
+            permuted = float(np.dot(weights, np.asarray(values)[perm]))
+            assert permuted >= target - 1e-6 * max(1.0, target)
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=20),
+        st.lists(st.integers(0, 100), min_size=1, max_size=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_superadditive_in_elements(self, a, b):
+        """Adding elements never decreases the squashed sum."""
+        assert squashed_sum(a + b) >= squashed_sum(a) - 1e-9
+
+
+class TestSquashedWorkArea:
+    def test_divides_by_capacity(self):
+        assert squashed_work_area([2, 1, 3], 2) == 5.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError):
+            squashed_work_area([1], 0)
+
+    def test_matrix_version(self):
+        wm = np.asarray([[2, 4], [1, 0], [3, 4]])
+        out = squashed_work_areas(wm, (2, 4))
+        assert out[0] == squashed_sum([2, 1, 3]) / 2
+        assert out[1] == squashed_sum([4, 0, 4]) / 4
+
+    def test_matrix_shape_validated(self):
+        with pytest.raises(ReproError):
+            squashed_work_areas(np.ones((3, 2)), (2,))
+
+    def test_aggregate_span(self):
+        assert aggregate_span([3, 4, 5]) == 12
+
+
+@st.composite
+def lemma4_case(draw):
+    m = draw(st.integers(1, 25))
+    a = draw(
+        st.lists(st.integers(0, 50), min_size=m, max_size=m)
+    )
+    h = draw(st.integers(1, 12))
+    s = draw(st.lists(st.integers(0, h), min_size=m, max_size=m))
+    idx = draw(st.integers(0, m - 1))
+    s = list(s)
+    s[idx] = h  # guarantee l > 0
+    return np.asarray(a, float), np.asarray(s, float), float(h)
+
+
+class TestLemma4:
+    @given(lemma4_case())
+    @settings(max_examples=500, deadline=None)
+    def test_lemma_holds(self, case):
+        a, s, h = case
+        assert check_lemma4(a, s, h)
+
+    def test_tight_example(self):
+        # all s_i = h: l = m, P = m*h; sq-sum grows by h * m(m+1)/2 exactly
+        m, h = 5, 3.0
+        a = np.zeros(m)
+        s = np.full(m, h)
+        lhs = squashed_sum(a + s)
+        rhs = lemma4_rhs(a, s, h)
+        assert lhs == pytest.approx(rhs)
+
+    def test_precondition_s_range(self):
+        with pytest.raises(ReproError):
+            check_lemma4([0.0], [2.0], 1.0)
+
+    def test_precondition_l_positive(self):
+        with pytest.raises(ReproError):
+            check_lemma4([0.0, 0.0], [0.5, 0.5], 1.0)
+
+    def test_precondition_h_positive(self):
+        with pytest.raises(ReproError):
+            check_lemma4([0.0], [0.0], 0.0)
+
+    def test_precondition_shapes(self):
+        with pytest.raises(ReproError):
+            check_lemma4([0.0, 1.0], [1.0], 1.0)

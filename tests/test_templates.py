@@ -1,0 +1,118 @@
+"""Tests for the application templates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.jobs.templates import (
+    ACCEL,
+    CPU,
+    IO,
+    application_mix,
+    etl_pipeline_job,
+    mapreduce_job,
+    stencil_solver_job,
+    training_epoch_job,
+)
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad
+from repro.sim import simulate, validate_schedule
+
+
+class TestMapReduce:
+    def test_structure(self):
+        dag = mapreduce_job(mappers=4, reducers=2)
+        dag.validate()
+        # split + 4 maps + 2 reduces + commit
+        assert dag.num_vertices == 8
+        # shuffle: 4 x 2 edges; plus 4 split->map and 2 reduce->commit
+        assert dag.num_edges == 4 + 8 + 2
+        assert dag.span() == 4  # split -> map -> reduce -> commit
+        assert dag.work(IO) == 2
+        assert dag.work(CPU) == 6
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            mapreduce_job(0, 1)
+
+
+class TestStencil:
+    def test_structure(self):
+        dag = stencil_solver_job(iterations=4, tiles=3)
+        dag.validate()
+        # 4 iterations x (3 tiles + barrier) + one checkpoint at it 4
+        assert dag.work(ACCEL) == 12
+        assert dag.work(CPU) == 4
+        assert dag.work(IO) == 1
+        # span: (tile + barrier) per iteration + checkpoint
+        assert dag.span() == 4 * 2 + 1
+
+    def test_checkpoint_every_fourth(self):
+        dag = stencil_solver_job(iterations=8, tiles=1)
+        assert dag.work(IO) == 2
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            stencil_solver_job(1, 0)
+
+
+class TestEtl:
+    def test_structure(self):
+        dag = etl_pipeline_job(batches=3, transform_width=2)
+        dag.validate()
+        assert dag.work(IO) == 6  # extract + load per batch
+        assert dag.work(CPU) == 6
+        # span: extract -> transform -> load, then load-chain of later
+        # batches: 3 + (batches - 1)
+        assert dag.span() == 3 + 2
+
+    def test_loads_are_ordered(self):
+        dag = etl_pipeline_job(batches=2, transform_width=1)
+        io_vertices = [
+            v for v in dag.vertices() if dag.category(v) == IO
+        ]
+        loads = io_vertices[1::2]
+        assert loads[0] in dag.predecessors(loads[1])
+
+
+class TestTraining:
+    def test_structure(self):
+        dag = training_epoch_job(steps=3, data_parallel=2)
+        dag.validate()
+        assert dag.work(ACCEL) == 6
+        assert dag.work(CPU) == 3  # one all-reduce per step
+        assert dag.work(IO) == 3  # initial fetch + 2 prefetches
+
+    def test_prefetch_overlaps(self):
+        # with prefetching, span is fetch + steps*(shard + reduce)
+        dag = training_epoch_job(steps=2, data_parallel=4)
+        assert dag.span() == 1 + 2 * 2
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            training_epoch_job(0, 1)
+
+
+class TestApplicationMix:
+    def test_mix_runs_end_to_end(self, rng):
+        js = application_mix(rng, 8)
+        machine = KResourceMachine((8, 8, 4), names=("cpu", "accel", "io"))
+        r = simulate(machine, KRad(), js, record_trace=True)
+        validate_schedule(r.trace, js)
+        assert len(r.completion_times) == 8
+
+    def test_release_spread(self, rng):
+        js = application_mix(rng, 6, release_spread=40)
+        times = js.release_times()
+        assert times[0] == 0
+        assert times.max() <= 40
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            application_mix(rng, 0)
+
+    def test_deterministic(self):
+        a = application_mix(np.random.default_rng(5), 5)
+        b = application_mix(np.random.default_rng(5), 5)
+        assert a.total_work_vector().tolist() == b.total_work_vector().tolist()
+        assert a.spans().tolist() == b.spans().tolist()

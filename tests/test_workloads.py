@@ -1,0 +1,158 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestRandomDag:
+    def test_sizes_and_validity(self, rng):
+        for _ in range(20):
+            dag = workloads.random_dag(rng, 3, size_hint=15)
+            dag.validate()
+            assert dag.num_vertices >= 1
+            assert dag.num_categories == 3
+
+    def test_bad_size_hint(self, rng):
+        with pytest.raises(WorkloadError):
+            workloads.random_dag(rng, 1, size_hint=0)
+
+    def test_jobset_generation(self, rng):
+        js = workloads.random_dag_jobset(rng, 2, 7)
+        assert len(js) == 7
+        assert js.is_batched()
+
+    def test_jobset_needs_jobs(self, rng):
+        with pytest.raises(WorkloadError):
+            workloads.random_dag_jobset(rng, 2, 0)
+
+    def test_deterministic_from_seed(self):
+        a = workloads.random_dag_jobset(np.random.default_rng(5), 2, 4)
+        b = workloads.random_dag_jobset(np.random.default_rng(5), 2, 4)
+        assert a.total_work_vector().tolist() == b.total_work_vector().tolist()
+        assert a.spans().tolist() == b.spans().tolist()
+
+
+class TestPhaseWorkloads:
+    def test_random_phase_job_structure(self, rng):
+        job = workloads.random_phase_job(rng, 3, max_phases=3)
+        assert job.num_categories == 3
+        assert job.span() >= 1
+        assert job.work_vector().sum() >= 1
+
+    def test_random_phase_jobset(self, rng):
+        js = workloads.random_phase_jobset(rng, 2, 9)
+        assert len(js) == 9
+        assert js.num_categories == 2
+
+    def test_light_jobset_respects_limit(self, rng):
+        machine = KResourceMachine((8, 4))
+        js = workloads.light_phase_jobset(rng, machine, 4)
+        assert len(js) == 4
+
+    def test_light_jobset_rejects_too_many_jobs(self, rng):
+        machine = KResourceMachine((8, 4))
+        with pytest.raises(WorkloadError):
+            workloads.light_phase_jobset(rng, machine, 5)
+
+    def test_heavy_jobset_scales_with_load(self, rng):
+        machine = KResourceMachine((4, 2))
+        js = workloads.heavy_phase_jobset(rng, machine, load_factor=3.0)
+        assert len(js) == 12
+
+    def test_heavy_jobset_validates_load(self, rng):
+        machine = KResourceMachine((4,))
+        with pytest.raises(WorkloadError):
+            workloads.heavy_phase_jobset(rng, machine, load_factor=0)
+
+
+class TestReleaseTimes:
+    def test_poisson_first_at_zero_sorted(self, rng):
+        times = workloads.poisson_release_times(rng, 20, rate=0.5)
+        assert times[0] == 0
+        assert times == sorted(times)
+        assert len(times) == 20
+
+    def test_poisson_rate_validated(self, rng):
+        with pytest.raises(WorkloadError):
+            workloads.poisson_release_times(rng, 5, rate=0)
+
+    def test_uniform_range(self, rng):
+        times = workloads.uniform_release_times(rng, 30, horizon=10)
+        assert times[0] == 0
+        assert max(times) <= 10
+        assert times == sorted(times)
+
+    def test_uniform_horizon_validated(self, rng):
+        with pytest.raises(WorkloadError):
+            workloads.uniform_release_times(rng, 5, horizon=-1)
+
+    def test_with_release_times(self, rng):
+        js = workloads.random_phase_jobset(rng, 1, 3)
+        out = workloads.with_release_times(js, [0, 2, 5])
+        assert out.release_times().tolist() == [0, 2, 5]
+        # original untouched
+        assert js.release_times().tolist() == [0, 0, 0]
+
+    def test_with_release_times_length_checked(self, rng):
+        js = workloads.random_phase_jobset(rng, 1, 3)
+        with pytest.raises(WorkloadError):
+            workloads.with_release_times(js, [0])
+
+    def test_with_release_times_rejects_negative(self, rng):
+        js = workloads.random_phase_jobset(rng, 1, 2)
+        with pytest.raises(WorkloadError):
+            workloads.with_release_times(js, [0, -3])
+
+    def test_bursty_structure(self, rng):
+        times = workloads.bursty_release_times(
+            rng, 40, burst_size=8, gap=50
+        )
+        assert len(times) == 40
+        assert times == sorted(times)
+        # at least two distinct burst instants and co-arriving jobs
+        distinct = sorted(set(times))
+        assert len(distinct) >= 2
+        assert any(times.count(t) >= 2 for t in distinct)
+        # lulls between bursts are on the order of the gap
+        assert max(b - a for a, b in zip(distinct, distinct[1:])) >= 25
+
+    def test_bursty_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            workloads.bursty_release_times(rng, 5, burst_size=0)
+
+
+class TestBimodal:
+    def test_mix_proportions(self, rng):
+        machine = KResourceMachine((8, 4))
+        js = workloads.bimodal_phase_jobset(
+            rng, machine, 20, elephant_fraction=0.25
+        )
+        totals = sorted(int(j.total_work()) for j in js)
+        assert len(js) == 20
+        # 5 elephants dwarf the mice
+        assert totals[-5] > 10 * totals[0]
+
+    def test_all_mice(self, rng):
+        machine = KResourceMachine((4,))
+        js = workloads.bimodal_phase_jobset(
+            rng, machine, 6, elephant_fraction=0.0
+        )
+        assert max(j.total_work() for j in js) <= 5
+
+    def test_validation(self, rng):
+        machine = KResourceMachine((4,))
+        with pytest.raises(WorkloadError):
+            workloads.bimodal_phase_jobset(rng, machine, 0)
+        with pytest.raises(WorkloadError):
+            workloads.bimodal_phase_jobset(
+                rng, machine, 4, elephant_fraction=1.5
+            )
