@@ -73,7 +73,13 @@ from repro.schedulers import (
     Rad,
     scheduler_by_name,
 )
-from repro.sim import SimulationResult, Simulator, simulate, validate_schedule
+from repro.sim import (
+    RetryPolicy,
+    SimulationResult,
+    Simulator,
+    simulate,
+    validate_schedule,
+)
 
 __all__ = [
     "__version__",
@@ -115,6 +121,7 @@ __all__ = [
     "KRoundRobin",
     "Rad",
     "scheduler_by_name",
+    "RetryPolicy",
     "SimulationResult",
     "Simulator",
     "simulate",

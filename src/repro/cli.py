@@ -14,6 +14,11 @@ Run one experiment::
 List what is available::
 
     krad list
+
+Probe fault tolerance on an ad-hoc workload::
+
+    krad faults --capacities 8,4 --jobs 10 --task-fail-rate 0.1
+    krad faults --outage 10:4:0 --kill-rate 0.05 --max-attempts 4
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ _DESCRIPTIONS = {
     "SPEED": "extension: performance + functional heterogeneity",
     "FEEDBACK": "extension: A-GREEDY history-based desires",
     "ABLATE": "ablation of K-RAD design choices",
-    "FAULT": "extension: graceful degradation under capacity faults",
+    "FAULT": "extension: outages, task failures, kills + retry/backoff",
     "HUNT": "adversarial instance search vs the exact optimum",
 }
 
@@ -128,7 +133,180 @@ def _run_one(
     return report.passed
 
 
+def _build_faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="krad faults",
+        description=(
+            "Run one fault-injected simulation and print robustness "
+            "metrics (wasted work, goodput, retries, stalls)"
+        ),
+    )
+    parser.add_argument(
+        "--capacities",
+        default="8,4",
+        help="comma-separated per-category processor counts (default 8,4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=10, help="number of random DAG jobs"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload + fault RNG seed"
+    )
+    parser.add_argument(
+        "--task-fail-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-task failure probability in [0, 1)",
+    )
+    parser.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-step per-job kill probability in [0, 1)",
+    )
+    parser.add_argument(
+        "--availability",
+        type=float,
+        default=None,
+        metavar="A",
+        help="random per-step processor availability in [0, 1]",
+    )
+    parser.add_argument(
+        "--outage",
+        default=None,
+        metavar="PERIOD:DURATION[:DEGRADED]",
+        help=(
+            "periodic outage on category 0, e.g. 10:4 (drop to 1) or "
+            "10:4:0 (full blackout)"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="execution attempts per killed job (with backoff); 1 = no "
+        "retry",
+    )
+    parser.add_argument(
+        "--max-stall-steps",
+        type=int,
+        default=1000,
+        help="abort after this many consecutive zero-progress steps",
+    )
+    return parser
+
+
+def _faults_main(argv: list[str]) -> int:
+    """The ``krad faults`` subcommand: ad-hoc fault-injection probe."""
+    import numpy as np
+
+    from repro.analysis.tables import format_table
+    from repro.jobs import workloads
+    from repro.machine.machine import KResourceMachine
+    from repro.schedulers.krad import KRad
+    from repro.sim import (
+        CompositeFaultModel,
+        JobKiller,
+        RandomDegradation,
+        RetryPolicy,
+        TaskFailures,
+        simulate,
+        summarize_robustness,
+    )
+    from repro.sim.faults import periodic_outage
+
+    args = _build_faults_parser().parse_args(argv)
+    try:
+        capacities = tuple(
+            int(c) for c in args.capacities.split(",") if c.strip()
+        )
+        machine = KResourceMachine(capacities)
+
+        capacity_schedule = None
+        if args.outage is not None:
+            parts = [int(p) for p in args.outage.split(":")]
+            if len(parts) == 2:
+                period, duration, degraded = parts[0], parts[1], 1
+            elif len(parts) == 3:
+                period, duration, degraded = parts
+            else:
+                raise ValueError(
+                    f"--outage wants PERIOD:DURATION[:DEGRADED], got "
+                    f"{args.outage!r}"
+                )
+            capacity_schedule = periodic_outage(
+                capacities,
+                category=0,
+                period=period,
+                duration=duration,
+                degraded=degraded,
+            )
+        elif args.availability is not None:
+            capacity_schedule = RandomDegradation(
+                capacities, availability=args.availability, seed=args.seed
+            )
+
+        models = []
+        if args.task_fail_rate > 0:
+            models.append(TaskFailures(args.task_fail_rate, seed=args.seed))
+        if args.kill_rate > 0:
+            models.append(JobKiller(args.kill_rate, seed=args.seed))
+        fault_model = None
+        if len(models) == 1:
+            fault_model = models[0]
+        elif models:
+            fault_model = CompositeFaultModel(models)
+
+        retry_policy = (
+            RetryPolicy(max_attempts=args.max_attempts)
+            if fault_model is not None and args.max_attempts > 1
+            else None
+        )
+
+        rng = np.random.default_rng(args.seed)
+        js = workloads.random_dag_jobset(
+            rng, machine.num_categories, args.jobs, size_hint=20
+        )
+        result = simulate(
+            machine,
+            KRad(),
+            js,
+            capacity_schedule=capacity_schedule,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+            max_stall_steps=args.max_stall_steps,
+        )
+    except Exception as exc:  # surface model errors as CLI errors
+        print(f"krad faults: {exc}", file=sys.stderr)
+        return 2
+
+    s = summarize_robustness(result)
+    print(
+        format_table(
+            s.ROW_HEADERS,
+            [s.as_row()],
+            title=(
+                f"fault probe: {args.jobs} jobs on {capacities}, "
+                f"seed {args.seed}"
+            ),
+        )
+    )
+    print(
+        f"completed {s.completed_jobs}/{args.jobs} jobs"
+        + (f", {s.failed_jobs} permanently failed" if s.failed_jobs else "")
+    )
+    goodput = ", ".join(f"{g:.3f}" for g in s.goodput)
+    print(f"goodput per category: {goodput}")
+    return 0 if not s.failed_jobs else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.upper()
     if target == "LIST":

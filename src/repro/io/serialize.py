@@ -33,6 +33,10 @@ __all__ = [
     "jobset_from_dict",
     "dump_jobset",
     "load_jobset",
+    "job_snapshot_to_dict",
+    "job_snapshot_from_dict",
+    "dump_checkpoint",
+    "load_checkpoint",
 ]
 
 _VERSION = 1
@@ -171,3 +175,61 @@ def load_jobset(path: str) -> JobSet:
     """Read a job set previously written by :func:`dump_jobset`."""
     with open(path, "r", encoding="utf-8") as fh:
         return jobset_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# job snapshots (static definition + runtime state) and checkpoints
+# ----------------------------------------------------------------------
+def job_snapshot_to_dict(job: Job) -> dict[str, Any]:
+    """Serialise a job *mid-run*: static definition plus runtime state.
+
+    Unlike :func:`job_to_dict` (fresh jobs only), the snapshot captures
+    partially-executed state via :meth:`Job.runtime_state`, so the engine's
+    checkpoint/resume reconstructs the exact execution frontier.  The
+    release time recorded here may differ from the original definition's
+    (retry backoff moves it), so it is authoritative.
+    """
+    return {
+        "format": "job-snapshot",
+        "version": _VERSION,
+        "static": job_to_dict(job),
+        "release_time": job.release_time,
+        "runtime": job.runtime_state(),
+    }
+
+
+def job_snapshot_from_dict(data: dict[str, Any]) -> Job:
+    """Rebuild a mid-run job from :func:`job_snapshot_to_dict` output."""
+    _check_header(data, "job-snapshot")
+    job = job_from_dict(data["static"])
+    job.release_time = int(data["release_time"])
+    job.restore_runtime_state(data["runtime"])
+    return job
+
+
+def dump_checkpoint(checkpoint: dict[str, Any], path: str) -> None:
+    """Write a :meth:`Simulator.checkpoint` snapshot to ``path`` as JSON.
+
+    The snapshot is already plain-JSON data; this helper exists so the
+    round-trip (and its format check) lives next to the other loaders.
+    """
+    if checkpoint.get("format") != "checkpoint":
+        raise ReproError(
+            f"expected a checkpoint document, got format "
+            f"{checkpoint.get('format')!r}"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(checkpoint, fh)
+
+
+def load_checkpoint(path: str) -> dict[str, Any]:
+    """Read a checkpoint previously written by :func:`dump_checkpoint`.
+
+    Returns the plain dict; pass it to :meth:`Simulator.restore` together
+    with a fresh scheduler instance and the original run's callables.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("format") != "checkpoint":
+        raise ReproError(f"{path} is not a checkpoint document")
+    return data

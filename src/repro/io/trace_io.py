@@ -44,6 +44,11 @@ def trace_to_dict(trace: Trace) -> dict[str, Any]:
                 },
                 "arrivals": list(rec.arrivals),
                 "completions": list(rec.completions),
+                "failed": {
+                    str(jid): [list(tasks) for tasks in per_cat]
+                    for jid, per_cat in rec.failed.items()
+                },
+                "killed": list(rec.killed),
             }
             for rec in trace.steps
         ],
@@ -79,6 +84,11 @@ def trace_from_dict(data: dict[str, Any]) -> Trace:
                 },
                 arrivals=tuple(int(j) for j in step["arrivals"]),
                 completions=tuple(int(j) for j in step["completions"]),
+                failed={
+                    int(jid): [list(map(int, tasks)) for tasks in per_cat]
+                    for jid, per_cat in step.get("failed", {}).items()
+                },
+                killed=tuple(int(j) for j in step.get("killed", ())),
             )
         )
     return trace

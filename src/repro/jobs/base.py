@@ -95,6 +95,39 @@ class Job(ABC):
         useful work, so over-allotment is a scheduler bug.
         """
 
+    def fail_tasks(self, failed: list[list[int]]) -> None:
+        """Undo this step's execution of the given tasks (fault injection).
+
+        ``failed`` lists, per category, task ids that were *executed this
+        step* but whose work is now wasted: the tasks return to the ready
+        frontier (the DAG vertex stays ready) and the job is incomplete
+        until they re-execute.  Must be called before any later step
+        executes.  Backends that cannot re-enqueue work raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support task-level faults"
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint surface
+    # ------------------------------------------------------------------
+    def runtime_state(self) -> dict:
+        """JSON-serialisable snapshot of the mutable execution state.
+
+        Together with the static definition (``repro.io.serialize``) this
+        reconstructs the job mid-run for checkpoint/resume.  Backends that
+        cannot snapshot raise.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def restore_runtime_state(self, state: dict) -> None:
+        """Inverse of :meth:`runtime_state`, applied to a fresh copy."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
     # ------------------------------------------------------------------
     # clairvoyant / analysis surface
     # ------------------------------------------------------------------

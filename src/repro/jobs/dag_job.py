@@ -129,6 +129,63 @@ class DagJob(Job):
             self._ready[dag.category(w)].append(w)
         return executed_per_cat
 
+    def fail_tasks(self, failed: list[list[int]]) -> None:
+        """Roll back this step's execution of the given tasks.
+
+        Each failed task returns to the back of its category's ready list
+        (deterministic re-queue position); successors that became ready
+        through it are retracted.  Valid only for tasks executed in the
+        step just finished — by then no successor can have executed, so
+        the rollback is always consistent.
+        """
+        dag = self._dag
+        for alpha, tasks in enumerate(failed):
+            for v in tasks:
+                if not self._executed[v]:
+                    raise ScheduleError(
+                        f"job {self.job_id}: cannot fail task {v} — not "
+                        "executed"
+                    )
+                if dag.category(v) != alpha:
+                    raise ScheduleError(
+                        f"job {self.job_id}: task {v} is category "
+                        f"{dag.category(v)}, failed as {alpha}"
+                    )
+                self._executed[v] = False
+                self._done_count -= 1
+                self._remaining_work[alpha] += 1
+                for w in dag.successors(v):
+                    if self._indeg[w] == 0:
+                        # w became ready when v executed; retract it
+                        self._ready[dag.category(w)].remove(w)
+                    self._indeg[w] += 1
+                self._ready[alpha].append(v)
+
+    # ------------------------------------------------------------------
+    # checkpoint surface
+    # ------------------------------------------------------------------
+    def runtime_state(self) -> dict:
+        return {
+            "ready": [list(r) for r in self._ready],
+            "indeg": self._indeg.tolist(),
+            "executed": np.flatnonzero(self._executed).tolist(),
+            "completion_time": self.completion_time,
+        }
+
+    def restore_runtime_state(self, state: dict) -> None:
+        self._ready = [[int(v) for v in r] for r in state["ready"]]
+        self._indeg = np.asarray(state["indeg"], dtype=np.int64)
+        self._executed = np.zeros(self._dag.num_vertices, dtype=bool)
+        self._executed[np.asarray(state["executed"], dtype=np.int64)] = True
+        self._done_count = int(self._executed.sum())
+        work = self._dag.work_vector()
+        done = np.zeros_like(work)
+        cats = self._dag.categories()
+        for v in np.flatnonzero(self._executed):
+            done[cats[v]] += 1
+        self._remaining_work = work - done
+        self.completion_time = int(state["completion_time"])
+
     def _check_allotment_fast(self, allotment: np.ndarray) -> np.ndarray:
         allotment = np.asarray(allotment, dtype=np.int64)
         if len(allotment) != self._dag.num_categories:

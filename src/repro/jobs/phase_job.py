@@ -80,6 +80,7 @@ class PhaseJob(Job):
         "_span",
         "_suffix_span",
         "_executed_counter",
+        "_last_phase_idx",
     )
 
     def __init__(
@@ -103,6 +104,7 @@ class PhaseJob(Job):
         self._suffix_span = suffix
         self._span = int(suffix[0])
         self._executed_counter = 0  # synthetic task ids for the trace
+        self._last_phase_idx = 0  # phase executing in the latest step
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +144,7 @@ class PhaseJob(Job):
         the trace so that validation and Gantt rendering still work.
         """
         allotment = self._check_allotment(allotment)
+        self._last_phase_idx = self._phase_idx
         executed: list[list[int]] = []
         for a in allotment:
             ids = list(
@@ -156,6 +159,52 @@ class PhaseJob(Job):
                 if self._phase_idx < len(self._phases):
                     self._remaining = self._phases[self._phase_idx].work.copy()
         return executed
+
+    def fail_tasks(self, failed: list[list[int]]) -> None:
+        """Return the given units to the phase that executed them.
+
+        Within a phase all units of a category are interchangeable, so
+        only the counts matter.  If finishing those units had advanced
+        (or completed) the job this step, the phase pointer is rolled
+        back — the job must re-earn the barrier.
+        """
+        counts = np.asarray([len(tasks) for tasks in failed], dtype=np.int64)
+        if not counts.any():
+            return
+        if self._phase_idx != self._last_phase_idx:
+            # the executing phase appeared complete; the failed units are
+            # exactly what remains of it
+            self._phase_idx = self._last_phase_idx
+            self._remaining = counts.copy()
+        else:
+            self._remaining = self._remaining + counts
+        phase = self._phases[self._phase_idx]
+        if (counts > phase.work).any() or (
+            self._remaining > phase.work
+        ).any():
+            raise WorkloadError(
+                f"job {self.job_id}: failed units {counts.tolist()} exceed "
+                f"phase work {phase.work.tolist()}"
+            )
+
+    # ------------------------------------------------------------------
+    # checkpoint surface
+    # ------------------------------------------------------------------
+    def runtime_state(self) -> dict:
+        return {
+            "phase_idx": self._phase_idx,
+            "last_phase_idx": self._last_phase_idx,
+            "remaining": self._remaining.tolist(),
+            "executed_counter": self._executed_counter,
+            "completion_time": self.completion_time,
+        }
+
+    def restore_runtime_state(self, state: dict) -> None:
+        self._phase_idx = int(state["phase_idx"])
+        self._last_phase_idx = int(state["last_phase_idx"])
+        self._remaining = np.asarray(state["remaining"], dtype=np.int64)
+        self._executed_counter = int(state["executed_counter"])
+        self.completion_time = int(state["completion_time"])
 
     # ------------------------------------------------------------------
     # clairvoyant / analysis surface

@@ -38,6 +38,11 @@ class KResourceMachine:
         4 vector units and 2 I/O processors.
     names:
         Optional category names (defaults to generic names).
+    allow_zero:
+        Permit categories with **0** processors.  Nominal machines always
+        have ``P_alpha >= 1`` (the paper's model); zero-capacity views
+        exist only as transient degraded machines during failure
+        injection (a full-category outage), built by the engine.
 
     Examples
     --------
@@ -49,13 +54,20 @@ class KResourceMachine:
     __slots__ = ("_caps", "_names")
 
     def __init__(
-        self, capacities: Sequence[int], names: Sequence[str] | None = None
+        self,
+        capacities: Sequence[int],
+        names: Sequence[str] | None = None,
+        *,
+        allow_zero: bool = False,
     ) -> None:
         caps = tuple(int(p) for p in capacities)
         if not caps:
             raise CategoryError("a machine needs at least one category")
-        if any(p < 1 for p in caps):
-            raise CategoryError(f"every category needs >= 1 processor, got {caps}")
+        floor = 0 if allow_zero else 1
+        if any(p < floor for p in caps):
+            raise CategoryError(
+                f"every category needs >= {floor} processor(s), got {caps}"
+            )
         if names is None:
             names = tuple(
                 _DEFAULT_NAMES[i] if i < len(_DEFAULT_NAMES) else f"cat{i}"

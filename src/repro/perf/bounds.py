@@ -1,13 +1,22 @@
 """Speed-aware lower bounds for the performance-heterogeneity extension.
 
-Both Section-4 bounds generalise directly:
+Both Section-4 bounds generalise:
 
 * work: category ``alpha`` delivers at most ``P_alpha * s_alpha`` units per
   step, so ``T* >= max_alpha T1(J, alpha) / (P_alpha * s_alpha)``;
-* span: a chain must run its tasks sequentially, each alpha-task taking at
-  least ``1/s_alpha`` of a step even on a fully dedicated processor, so
-  ``T* >= max_i (r_i + weighted_span(J_i))`` where the *weighted span* is
-  the maximum over paths of ``sum 1/s_cat(v)``.
+* span: a chain must run its tasks one micro-round after another, and an
+  alpha-task may only occupy micro-rounds ``0 .. s_alpha - 1`` of a macro
+  step, so ``T* >= max_i (r_i + weighted_span(J_i))`` where the *weighted
+  span* counts the macro steps a fully dedicated machine needs for the
+  critical path under that round structure.
+
+Note the span term is deliberately **not** ``sum 1/s_cat(v)`` over paths:
+:class:`~repro.perf.engine.SpeedSimulator` lets a task enabled in an early
+micro-round feed a successor in a *later* micro-round of the same macro
+step, so a mixed-category chain (e.g. categories ``0, 1`` at speeds
+``(1, 2)``) finishes in one step even though ``1/1 + 1/2 > 1``.  The
+slot-walk DP below is exact for a dedicated chain and therefore a valid
+lower bound; the naive sum is not.
 
 These reduce to the paper's bounds at unit speeds.
 """
@@ -29,27 +38,38 @@ __all__ = ["weighted_span", "job_weighted_span", "speed_makespan_lower_bound"]
 
 
 def weighted_span(dag: KDag, speeds: Sequence[int]) -> float:
-    """Max over precedence paths of ``sum_v 1/s_category(v)``.
+    """Macro steps a dedicated machine needs for the critical path.
 
-    Computed by a single topological-order DP (insertion order is
-    topological for :class:`KDag`).  Empty DAG -> 0.
+    Models the engine's micro-round structure exactly: a macro step has
+    ``max(speeds)`` micro-rounds, a category-``alpha`` task may occupy any
+    round ``< s_alpha``, and a successor must occupy a strictly later
+    round (possibly in a later step) than its predecessor.  The DP walks
+    each vertex to its earliest ``(step, round)`` completion slot in one
+    topological pass (insertion order is topological for :class:`KDag`).
+    Empty DAG -> 0.  Reduces to ``dag.span()`` at unit speeds.
     """
     if len(speeds) != dag.num_categories:
         raise ReproError(
             f"{len(speeds)} speeds for a K={dag.num_categories} DAG"
         )
-    inv = [1.0 / float(s) for s in speeds]
     n = dag.num_vertices
     if n == 0:
         return 0.0
-    depth = np.zeros(n, dtype=np.float64)
+    steps = np.zeros(n, dtype=np.int64)
+    rounds = np.zeros(n, dtype=np.int64)
     for v in range(n):
-        best = 0.0
+        # latest predecessor slot; sources act as if a phantom predecessor
+        # finished in round -1 of step 1, i.e. they start in round 0.
+        ps, pr = 1, -1
         for u in dag.predecessors(v):
-            if depth[u] > best:
-                best = depth[u]
-        depth[v] = best + inv[dag.category(v)]
-    return float(depth.max())
+            if (steps[u], rounds[u]) > (ps, pr):
+                ps, pr = int(steps[u]), int(rounds[u])
+        s = int(speeds[dag.category(v)])
+        if pr + 1 < s:
+            steps[v], rounds[v] = ps, pr + 1
+        else:
+            steps[v], rounds[v] = ps + 1, 0
+    return float(steps.max())
 
 
 def job_weighted_span(job: Job, speeds: Sequence[int]) -> float:

@@ -68,6 +68,41 @@ class Scheduler(ABC):
             )
         self._machine = machine
 
+    # ------------------------------------------------------------------
+    # checkpoint surface
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable per-run state for checkpoint/resume.
+
+        Convention: per-run state is established in :meth:`reset`, so a
+        scheduler that does not override ``reset`` is stateless and the
+        base implementation returns ``{}``.  A scheduler that *does*
+        override ``reset`` must also override ``state_dict`` and
+        :meth:`load_state_dict` — otherwise resumed runs would silently
+        diverge, so the base raises instead.
+        """
+        if type(self).reset is not Scheduler.reset:
+            raise ScheduleError(
+                f"{type(self).__name__} keeps per-run state but does not "
+                "implement state_dict/load_state_dict; checkpointing is "
+                "unsupported for it"
+            )
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (call after ``reset``)."""
+        if type(self).reset is not Scheduler.reset:
+            raise ScheduleError(
+                f"{type(self).__name__} keeps per-run state but does not "
+                "implement state_dict/load_state_dict; checkpointing is "
+                "unsupported for it"
+            )
+        if state:
+            raise ScheduleError(
+                f"stateless scheduler {type(self).__name__} given state "
+                f"keys {sorted(state)}"
+            )
+
     @abstractmethod
     def allocate(
         self,

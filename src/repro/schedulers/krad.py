@@ -51,6 +51,19 @@ class KRad(Scheduler):
         """Inspect one category's RAD state (tests/diagnostics)."""
         return self._states[alpha]
 
+    def state_dict(self) -> dict:
+        return {"states": [s.state_dict() for s in self._states]}
+
+    def load_state_dict(self, state: dict) -> None:
+        states = state["states"]
+        if len(states) != len(self._states):
+            raise ValueError(
+                f"checkpoint has {len(states)} category states, scheduler "
+                f"has {len(self._states)}"
+            )
+        for s, data in zip(self._states, states):
+            s.load_state_dict(data)
+
     def allocate(self, t, desires, jobs=None):
         machine = self.machine
         k = machine.num_categories

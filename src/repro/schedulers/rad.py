@@ -64,6 +64,20 @@ class RadCategoryState:
             self._seen.intersection_update(alive)
             self._marked.intersection_update(alive)
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot (checkpoint/resume)."""
+        return {
+            "order": list(self._order),
+            "marked": sorted(self._marked),
+            "rotate": self._rotate_enabled,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._order = [int(j) for j in state["order"]]
+        self._seen = set(self._order)
+        self._marked = {int(j) for j in state["marked"]}
+        self._rotate_enabled = bool(state["rotate"])
+
     @property
     def marked_jobs(self) -> frozenset[int]:
         """Jobs already served in the current round-robin cycle."""
@@ -154,6 +168,12 @@ class Rad(Scheduler):
             )
         super().reset(machine)
         self._state = RadCategoryState()
+
+    def state_dict(self) -> dict:
+        return {"state": self._state.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._state.load_state_dict(state["state"])
 
     def allocate(self, t, desires, jobs=None):
         self._state.register(desires.keys())

@@ -41,6 +41,20 @@ class KRoundRobin(Scheduler):
         super().reset(machine)
         self._states = [_RRState() for _ in range(machine.num_categories)]
 
+    def state_dict(self) -> dict:
+        return {
+            "states": [
+                {"order": list(st.order), "marked": sorted(st.marked)}
+                for st in self._states
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for st, data in zip(self._states, state["states"], strict=True):
+            st.order = [int(j) for j in data["order"]]
+            st.seen = set(st.order)
+            st.marked = {int(j) for j in data["marked"]}
+
     def allocate(self, t, desires, jobs=None):
         machine = self.machine
         k = machine.num_categories

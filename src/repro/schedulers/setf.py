@@ -35,6 +35,14 @@ class Setf(Scheduler):
         super().reset(machine)
         self._service = {}
 
+    def state_dict(self) -> dict:
+        return {"service": {str(j): s for j, s in self._service.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._service = {
+            int(j): int(s) for j, s in state["service"].items()
+        }
+
     def allocate(self, t, desires, jobs=None):
         machine = self.machine
         k = machine.num_categories

@@ -1,30 +1,49 @@
 """Discrete-time K-resource simulation engine."""
 
 from repro.sim.engine import Simulator, simulate
-from repro.sim.faults import RandomDegradation, periodic_outage
+from repro.sim.faults import (
+    CompositeFaultModel,
+    FaultModel,
+    JobKiller,
+    RandomDegradation,
+    ScriptedKills,
+    TaskFailures,
+    periodic_outage,
+)
 from repro.sim.instrument import AllocationRecord, RecordingScheduler
 from repro.sim.metrics import (
     MetricsSummary,
+    RobustnessSummary,
     reallocation_volume,
     slowdowns,
     summarize_result,
+    summarize_robustness,
 )
 from repro.sim.results import SimulationResult
+from repro.sim.retry import RetryPolicy
 from repro.sim.trace import PlacedTask, StepRecord, Trace
 from repro.sim.validate import validate_schedule
 
 __all__ = [
+    "CompositeFaultModel",
+    "FaultModel",
+    "JobKiller",
     "RandomDegradation",
+    "ScriptedKills",
+    "TaskFailures",
     "periodic_outage",
     "AllocationRecord",
     "MetricsSummary",
+    "RobustnessSummary",
     "RecordingScheduler",
     "reallocation_volume",
     "slowdowns",
     "summarize_result",
+    "summarize_robustness",
     "Simulator",
     "simulate",
     "SimulationResult",
+    "RetryPolicy",
     "PlacedTask",
     "StepRecord",
     "Trace",

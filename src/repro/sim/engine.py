@@ -16,12 +16,27 @@ exactly:
 Idle intervals (no job available, later releases pending) are fast-forwarded
 in O(1), so sparse arrival patterns cost nothing.
 
-The engine is deterministic given (job set, scheduler, policy, seed).
+Fault tolerance (all optional, all deterministic):
+
+* ``capacity_schedule`` degrades per-step capacities, down to **0** (full
+  category outage); resulting zero-progress steps are counted as *stalls*
+  and bounded by ``max_stall_steps`` instead of crashing the run;
+* ``fault_model`` fails individual executed tasks (work wasted, task
+  re-enqueued) and kills whole jobs;
+* ``retry_policy`` resubmits killed jobs as fresh copies after exponential
+  backoff, up to an attempt cap — exhausted jobs are reported in
+  ``SimulationResult.failed_jobs``;
+* :meth:`Simulator.checkpoint` / :meth:`Simulator.restore` snapshot the
+  full mid-run state (engine, scheduler, jobs, RNG, trace) so an
+  interrupted-and-resumed run produces a bitwise-identical result.
+
+The engine is deterministic given (job set, scheduler, policy, seed,
+capacity schedule, fault model, retry policy).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+import heapq
 
 import numpy as np
 
@@ -35,6 +50,51 @@ from repro.sim.results import SimulationResult
 from repro.sim.trace import StepRecord, Trace
 
 __all__ = ["Simulator", "simulate"]
+
+_CHECKPOINT_VERSION = 1
+
+
+class _RunState:
+    """Mutable mid-run state of one simulation (checkpointable)."""
+
+    __slots__ = (
+        "t",
+        "pending",
+        "next_pending",
+        "alive",
+        "completion",
+        "release",
+        "busy",
+        "wasted",
+        "idle_steps",
+        "stall_steps",
+        "stall_run",
+        "longest_stall",
+        "makespan",
+        "attempts",
+        "failed_jobs",
+        "resubmit",
+        "trace",
+    )
+
+    def __init__(self) -> None:
+        self.t = 0
+        self.pending: list[Job] = []
+        self.next_pending = 0
+        self.alive: dict[int, Job] = {}
+        self.completion: dict[int, int] = {}
+        self.release: dict[int, int] = {}
+        self.busy: np.ndarray | None = None
+        self.wasted: np.ndarray | None = None
+        self.idle_steps = 0
+        self.stall_steps = 0
+        self.stall_run = 0
+        self.longest_stall = 0
+        self.makespan = 0
+        self.attempts: dict[int, int] = {}
+        self.failed_jobs: list[int] = []
+        self.resubmit: list[tuple[int, int, Job]] = []
+        self.trace: Trace | None = None
 
 
 class Simulator:
@@ -56,7 +116,9 @@ class Simulator:
     max_steps:
         Safety valve; defaults to a generous bound derived from total work,
         spans and releases — exceeding it means a scheduler is not making
-        progress.
+        progress.  When a capacity schedule or fault model is present the
+        default is scaled up substantially (degradation and rework can
+        legitimately stretch a run far past the nominal bound).
     validate:
         Verify every allotment against the model constraints (cheap; on by
         default).
@@ -68,10 +130,23 @@ class Simulator:
         must not mutate the jobs.
     capacity_schedule:
         Optional failure-injection hook ``t -> capacities``: per-step
-        processor counts (each >= 1, at most the nominal capacity, same K).
-        The scheduler is re-bound to the degraded view each step with its
-        state intact; metrics and validation use the nominal machine, so
-        outages surface as idle capacity.
+        processor counts (each in ``[0, nominal]``, same K; 0 = the
+        category is completely dark that step).  The scheduler is re-bound
+        to the degraded view each step with its state intact; metrics and
+        validation use the nominal machine, so outages surface as idle
+        capacity and stalls.
+    fault_model:
+        Optional :class:`~repro.sim.faults.FaultModel` failing executed
+        tasks (work wasted, re-enqueued) and/or killing whole jobs.
+    retry_policy:
+        Optional :class:`~repro.sim.retry.RetryPolicy` governing
+        resubmission of killed jobs (fresh copy, exponential backoff,
+        attempt cap).  Without one, killed jobs are lost permanently.
+    max_stall_steps:
+        Upper bound on *consecutive* zero-progress steps while jobs are
+        live (only reachable under capacity schedules / fault models);
+        exceeding it aborts the run — the safety valve for a machine that
+        never recovers.
     """
 
     def __init__(
@@ -87,11 +162,18 @@ class Simulator:
         validate: bool = True,
         on_step=None,
         capacity_schedule=None,
+        fault_model=None,
+        retry_policy=None,
+        max_stall_steps: int = 1000,
     ) -> None:
         if jobset.num_categories != machine.num_categories:
             raise SimulationError(
                 f"job set K={jobset.num_categories} != machine "
                 f"K={machine.num_categories}"
+            )
+        if max_stall_steps < 1:
+            raise SimulationError(
+                f"max_stall_steps must be >= 1, got {max_stall_steps}"
             )
         self._machine = machine
         self._scheduler = scheduler
@@ -102,6 +184,12 @@ class Simulator:
         self._validate = validate
         self._on_step = on_step
         self._capacity_schedule = capacity_schedule
+        self._fault_model = fault_model
+        self._retry_policy = retry_policy
+        self._max_stall_steps = int(max_stall_steps)
+        self._faulty = (
+            capacity_schedule is not None or fault_model is not None
+        )
         if max_steps is None:
             work = int(jobset.total_work_vector().sum())
             span = int(jobset.spans().sum())
@@ -109,7 +197,62 @@ class Simulator:
             # Any work-conserving schedule finishes within work+span steps
             # per job even serialised; double it for slack.
             max_steps = 2 * (work + span + release) + 16
+            if self._faulty:
+                # Degraded capacity stretches execution and faults force
+                # rework, so the nominal bound would fire spuriously (a
+                # 0.1-availability schedule alone is a ~10x slowdown).
+                # Stay a safety valve, just a far more generous one; dead
+                # time is separately bounded by max_stall_steps.
+                max_steps = 32 * max_steps + self._max_stall_steps
         self._max_steps = int(max_steps)
+        self._state: _RunState | None = None
+        self._result: SimulationResult | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._state is not None:
+            return
+        jobs = self._jobset.jobs
+        already_done = [j.job_id for j in jobs if j.is_complete]
+        if already_done:
+            raise SimulationError(
+                f"jobs {already_done[:5]} have already executed; simulate a "
+                "fresh copy (jobset.fresh_copy()) instead of re-running"
+            )
+        self._scheduler.reset(self._machine)
+        k = self._machine.num_categories
+        st = _RunState()
+        # Pending jobs sorted by (release, id); alive keeps arrival order.
+        st.pending = sorted(jobs, key=lambda j: (j.release_time, j.job_id))
+        st.release = {j.job_id: j.release_time for j in jobs}
+        st.busy = np.zeros(k, dtype=np.int64)
+        st.wasted = np.zeros(k, dtype=np.int64)
+        st.trace = (
+            Trace(num_categories=k, capacities=self._machine.capacities)
+            if self._record_trace
+            else None
+        )
+        self._state = st
+
+    def _unfinished(self) -> bool:
+        st = self._state
+        return (
+            st.next_pending < len(st.pending)
+            or bool(st.alive)
+            or bool(st.resubmit)
+        )
+
+    def _next_release(self) -> int | None:
+        """Earliest release among unarrived pending and resubmitted jobs."""
+        st = self._state
+        candidates = []
+        if st.next_pending < len(st.pending):
+            candidates.append(st.pending[st.next_pending].release_time)
+        if st.resubmit:
+            candidates.append(st.resubmit[0][0])
+        return min(candidates) if candidates else None
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -119,140 +262,435 @@ class Simulator:
         that already executed) raises rather than producing a misleading
         empty schedule — use ``jobset.fresh_copy()`` per run.
         """
-        machine = self._machine
-        scheduler = self._scheduler
-        scheduler.reset(machine)
-        jobs = self._jobset.jobs
-        already_done = [j.job_id for j in jobs if j.is_complete]
-        if already_done:
+        if self._result is not None:
             raise SimulationError(
-                f"jobs {already_done[:5]} have already executed; simulate a "
+                "this simulator already ran to completion; simulate a "
                 "fresh copy (jobset.fresh_copy()) instead of re-running"
             )
-        k = machine.num_categories
+        self._ensure_started()
+        while self._unfinished():
+            self._step()
+        return self._finalize()
 
-        # Pending jobs sorted by (release, id); alive keeps arrival order.
-        pending = sorted(jobs, key=lambda j: (j.release_time, j.job_id))
-        next_pending = 0  # index into pending (avoids O(n^2) pops)
-        alive: dict[int, Job] = {}
-        completion: dict[int, int] = {}
-        release: dict[int, int] = {j.job_id: j.release_time for j in jobs}
-        busy = np.zeros(k, dtype=np.int64)
-        trace = (
-            Trace(num_categories=k, capacities=machine.capacities)
-            if self._record_trace
+    def run_until(self, t_stop: int) -> SimulationResult | None:
+        """Advance until the clock passes ``t_stop`` or the run finishes.
+
+        Returns the :class:`SimulationResult` if the run completed, else
+        ``None`` — at which point :meth:`checkpoint` snapshots the exact
+        mid-run state.  Repeated calls continue the same run.
+        """
+        if self._result is not None:
+            return self._result
+        self._ensure_started()
+        while self._unfinished() and self._state.t < t_stop:
+            self._step()
+        if self._unfinished():
+            return None
+        return self._finalize()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        """One time step (phases 1-4 plus fault injection)."""
+        machine = self._machine
+        scheduler = self._scheduler
+        st = self._state
+
+        st.t += 1
+        t = st.t
+        if t > self._max_steps:
+            raise SimulationError(
+                f"no completion after {self._max_steps} steps; "
+                f"{len(st.alive)} jobs alive — scheduler "
+                f"{scheduler.name!r} is not making progress"
+            )
+        # Fast-forward idle intervals: nobody alive, arrivals later.
+        if not st.alive:
+            next_release = self._next_release()
+            if next_release is not None and next_release >= t:
+                skip_to = next_release + 1
+                st.idle_steps += skip_to - t
+                st.t = t = skip_to
+
+        arriving: list[Job] = []
+        while (
+            st.next_pending < len(st.pending)
+            and st.pending[st.next_pending].release_time < t
+        ):
+            arriving.append(st.pending[st.next_pending])
+            st.next_pending += 1
+        while st.resubmit and st.resubmit[0][0] < t:
+            arriving.append(heapq.heappop(st.resubmit)[2])
+        # Resubmissions merge into arrival order by (release, id), the
+        # same discipline the pending list uses.
+        arriving.sort(key=lambda j: (j.release_time, j.job_id))
+        arrivals: list[int] = []
+        for job in arriving:
+            st.alive[job.job_id] = job
+            arrivals.append(job.job_id)
+
+        step_machine = machine
+        if self._capacity_schedule is not None:
+            caps_t = tuple(int(c) for c in self._capacity_schedule(t))
+            if len(caps_t) != machine.num_categories or any(
+                not 0 <= c <= nominal
+                for c, nominal in zip(caps_t, machine.capacities)
+            ):
+                raise SimulationError(
+                    f"capacity schedule at t={t} returned {caps_t}; "
+                    f"need {machine.num_categories} values in "
+                    f"[0, nominal {machine.capacities}]"
+                )
+            if caps_t != machine.capacities:
+                step_machine = KResourceMachine(
+                    caps_t, names=machine.names, allow_zero=True
+                )
+            scheduler.rebind(step_machine)
+
+        desires = {jid: job.desire_vector() for jid, job in st.alive.items()}
+        allotments = scheduler.allocate(
+            t, desires, jobs=st.alive if scheduler.clairvoyant else None
+        )
+        if self._validate:
+            check_allotments(step_machine, desires, allotments)
+
+        executed: dict[int, list[list[int]]] = {}
+        progress = 0
+        for jid, alloc in allotments.items():
+            alloc = np.asarray(alloc, dtype=np.int64)
+            if not alloc.any():
+                continue
+            executed[jid] = st.alive[jid].execute(
+                alloc, self._policy, self._rng
+            )
+            st.busy += alloc
+            progress += int(alloc.sum())
+
+        failed, killed = self._inject_faults(t, executed)
+
+        if progress == 0 and desires:
+            if not self._faulty:
+                raise SimulationError(
+                    f"step {t}: scheduler {scheduler.name!r} executed "
+                    f"nothing while {len(desires)} jobs are active — not "
+                    "work-conserving"
+                )
+            # A stall: live jobs, zero progress (e.g. every demanded
+            # category dark).  Absorbed, counted, and bounded.
+            st.stall_run += 1
+            st.stall_steps += 1
+            st.longest_stall = max(st.longest_stall, st.stall_run)
+            if st.stall_run > self._max_stall_steps:
+                raise SimulationError(
+                    f"step {t}: no progress for {st.stall_run} consecutive "
+                    f"steps with {len(st.alive)} jobs alive — the machine "
+                    "never recovered (max_stall_steps "
+                    f"{self._max_stall_steps})"
+                )
+        elif progress:
+            st.stall_run = 0
+
+        if self._on_step is not None:
+            self._on_step(t, st.alive)
+
+        completions: list[int] = []
+        for jid in list(st.alive):
+            if st.alive[jid].is_complete:
+                st.alive[jid].completion_time = t
+                st.completion[jid] = t
+                completions.append(jid)
+                del st.alive[jid]
+        if completions:
+            st.makespan = t
+
+        if st.trace is not None:
+            st.trace.append(
+                StepRecord(
+                    t=t,
+                    desires=desires,
+                    allotments={
+                        jid: np.asarray(a, dtype=np.int64)
+                        for jid, a in allotments.items()
+                    },
+                    executed=executed,
+                    arrivals=tuple(arrivals),
+                    completions=tuple(completions),
+                    failed=failed,
+                    killed=tuple(killed),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _inject_faults(
+        self, t: int, executed: dict[int, list[list[int]]]
+    ) -> tuple[dict[int, list[list[int]]], list[int]]:
+        """Apply the fault model: fail tasks, kill/resubmit jobs."""
+        if self._fault_model is None:
+            return {}, []
+        st = self._state
+        k = self._machine.num_categories
+
+        failed: dict[int, list[list[int]]] = {}
+        if executed:
+            raw = self._fault_model.task_failures(t, executed)
+            for jid in sorted(raw):
+                if jid not in executed:
+                    raise SimulationError(
+                        f"fault model failed tasks of job {jid} which "
+                        f"executed nothing at step {t}"
+                    )
+                norm = [
+                    [int(v) for v in tasks] for tasks in raw[jid]
+                ]
+                if len(norm) != k:
+                    raise SimulationError(
+                        f"fault model returned {len(norm)} categories for "
+                        f"job {jid}, expected {k}"
+                    )
+                for alpha, tasks in enumerate(norm):
+                    if tasks and not set(tasks) <= set(executed[jid][alpha]):
+                        raise SimulationError(
+                            f"fault model failed tasks {tasks} of job "
+                            f"{jid} category {alpha} that did not execute "
+                            f"at step {t}"
+                        )
+                if not any(norm):
+                    continue
+                st.alive[jid].fail_tasks(norm)
+                failed[jid] = norm
+                for alpha, tasks in enumerate(norm):
+                    st.wasted[alpha] += len(tasks)
+
+        killed: list[int] = []
+        if st.alive:
+            for jid in self._fault_model.job_kills(t, tuple(st.alive)):
+                jid = int(jid)
+                job = st.alive.pop(jid, None)
+                if job is None:
+                    continue
+                killed.append(jid)
+                # Every unit the dying attempt executed is thrown away.
+                st.wasted += (
+                    job.work_vector() - job.remaining_work_vector()
+                ).astype(np.int64)
+                attempt = st.attempts.get(jid, 1)
+                if (
+                    self._retry_policy is not None
+                    and self._retry_policy.allows_retry(attempt)
+                ):
+                    delay = self._retry_policy.delay(attempt)
+                    st.attempts[jid] = attempt + 1
+                    fresh = job.fresh_copy()
+                    # released at t+delay-1 => first executable at t+delay
+                    fresh.release_time = t + delay - 1
+                    heapq.heappush(
+                        st.resubmit, (fresh.release_time, jid, fresh)
+                    )
+                else:
+                    st.attempts.setdefault(jid, 1)
+                    st.failed_jobs.append(jid)
+                    st.release.pop(jid, None)
+        return failed, killed
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> SimulationResult:
+        if self._result is not None:
+            return self._result
+        st = self._state
+        retries = {
+            jid: n - 1 for jid, n in sorted(st.attempts.items()) if n > 1
+        }
+        self._result = SimulationResult(
+            scheduler_name=self._scheduler.name,
+            num_jobs=len(st.pending),
+            capacities=self._machine.capacities,
+            makespan=st.makespan,
+            completion_times=st.completion,
+            release_times=st.release,
+            idle_steps=st.idle_steps,
+            busy=st.busy,
+            trace=st.trace,
+            wasted=st.wasted if self._fault_model is not None else None,
+            stall_steps=st.stall_steps,
+            longest_stall=st.longest_stall,
+            retries=retries,
+            failed_jobs=tuple(sorted(st.failed_jobs)),
+        )
+        return self._result
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serializable snapshot of the full mid-run state.
+
+        Captures engine counters, the scheduler's state, every job's
+        static definition *and* runtime state, the RNG, the resubmission
+        queue and the recorded trace, as plain-JSON data (via
+        :mod:`repro.io.serialize`).  Resuming via :meth:`restore` and
+        running to completion yields a result bitwise-identical to the
+        uninterrupted run.
+        """
+        from repro.io.serialize import job_snapshot_to_dict, machine_to_dict
+        from repro.io.trace_io import trace_to_dict
+
+        if self._result is not None:
+            raise SimulationError(
+                "cannot checkpoint a finished run; keep the result instead"
+            )
+        self._ensure_started()
+        st = self._state
+        return {
+            "format": "checkpoint",
+            "version": _CHECKPOINT_VERSION,
+            "machine": machine_to_dict(self._machine),
+            "scheduler": {
+                "name": self._scheduler.name,
+                "state": self._scheduler.state_dict(),
+            },
+            "rng": self._rng.bit_generator.state,
+            "engine": {
+                "t": st.t,
+                "next_pending": st.next_pending,
+                "idle_steps": st.idle_steps,
+                "stall_steps": st.stall_steps,
+                "stall_run": st.stall_run,
+                "longest_stall": st.longest_stall,
+                "makespan": st.makespan,
+                "busy": st.busy.tolist(),
+                "wasted": st.wasted.tolist(),
+                "completion": {
+                    str(j): c for j, c in st.completion.items()
+                },
+                "release": {str(j): r for j, r in st.release.items()},
+                "attempts": {str(j): n for j, n in st.attempts.items()},
+                "failed_jobs": list(st.failed_jobs),
+                "max_steps": self._max_steps,
+                "max_stall_steps": self._max_stall_steps,
+                "validate": self._validate,
+                "has_fault_model": self._fault_model is not None,
+                "has_capacity_schedule": self._capacity_schedule
+                is not None,
+            },
+            "jobs": [job_snapshot_to_dict(j) for j in st.pending],
+            "alive": [
+                job_snapshot_to_dict(job) for job in st.alive.values()
+            ],
+            "resubmit": [
+                {"release": r, "job": job_snapshot_to_dict(job)}
+                for r, _jid, job in sorted(
+                    st.resubmit, key=lambda e: (e[0], e[1])
+                )
+            ],
+            "trace": (
+                trace_to_dict(st.trace) if st.trace is not None else None
+            ),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        data: dict,
+        scheduler: Scheduler,
+        *,
+        policy: ExecutionPolicy = FIFO,
+        on_step=None,
+        capacity_schedule=None,
+        fault_model=None,
+        retry_policy=None,
+    ) -> "Simulator":
+        """Rebuild a mid-run simulator from a :meth:`checkpoint` snapshot.
+
+        Callables are not serializable, so the caller re-supplies the
+        scheduler instance (same class; its state is restored from the
+        snapshot), the policy and the capacity/fault/retry hooks — they
+        must match the original run for the resumed result to be
+        identical.
+        """
+        from repro.io.serialize import (
+            job_snapshot_from_dict,
+            machine_from_dict,
+        )
+        from repro.io.trace_io import trace_from_dict
+
+        if not isinstance(data, dict) or data.get("format") != "checkpoint":
+            raise SimulationError("expected a checkpoint document")
+        if data.get("version") != _CHECKPOINT_VERSION:
+            raise SimulationError(
+                f"unsupported checkpoint version {data.get('version')!r} "
+                f"(this build reads version {_CHECKPOINT_VERSION})"
+            )
+        eng = data["engine"]
+        if eng["has_fault_model"] != (fault_model is not None):
+            raise SimulationError(
+                "checkpointed run and restore disagree on fault_model "
+                "presence"
+            )
+        if eng["has_capacity_schedule"] != (capacity_schedule is not None):
+            raise SimulationError(
+                "checkpointed run and restore disagree on "
+                "capacity_schedule presence"
+            )
+        if scheduler.name != data["scheduler"]["name"]:
+            raise SimulationError(
+                f"checkpoint was taken under scheduler "
+                f"{data['scheduler']['name']!r}, restore got "
+                f"{scheduler.name!r}"
+            )
+        machine = machine_from_dict(data["machine"])
+        pending = [job_snapshot_from_dict(d) for d in data["jobs"]]
+        sim = cls(
+            machine,
+            scheduler,
+            JobSet(pending),
+            policy=policy,
+            record_trace=data["trace"] is not None,
+            max_steps=eng["max_steps"],
+            validate=eng["validate"],
+            on_step=on_step,
+            capacity_schedule=capacity_schedule,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+            max_stall_steps=eng["max_stall_steps"],
+        )
+        scheduler.reset(machine)
+        scheduler.load_state_dict(data["scheduler"]["state"])
+        sim._rng.bit_generator.state = data["rng"]
+
+        st = _RunState()
+        st.t = int(eng["t"])
+        st.pending = pending
+        st.next_pending = int(eng["next_pending"])
+        st.alive = {}
+        for snap in data["alive"]:
+            job = job_snapshot_from_dict(snap)
+            st.alive[job.job_id] = job
+        st.completion = {
+            int(j): int(c) for j, c in eng["completion"].items()
+        }
+        st.release = {int(j): int(r) for j, r in eng["release"].items()}
+        st.busy = np.asarray(eng["busy"], dtype=np.int64)
+        st.wasted = np.asarray(eng["wasted"], dtype=np.int64)
+        st.idle_steps = int(eng["idle_steps"])
+        st.stall_steps = int(eng["stall_steps"])
+        st.stall_run = int(eng["stall_run"])
+        st.longest_stall = int(eng["longest_stall"])
+        st.makespan = int(eng["makespan"])
+        st.attempts = {
+            int(j): int(n) for j, n in eng["attempts"].items()
+        }
+        st.failed_jobs = [int(j) for j in eng["failed_jobs"]]
+        st.resubmit = []
+        for entry in data["resubmit"]:
+            job = job_snapshot_from_dict(entry["job"])
+            st.resubmit.append((int(entry["release"]), job.job_id, job))
+        heapq.heapify(st.resubmit)
+        st.trace = (
+            trace_from_dict(data["trace"])
+            if data["trace"] is not None
             else None
         )
-        idle_steps = 0
-        makespan = 0
-        t = 0
-
-        while next_pending < len(pending) or alive:
-            t += 1
-            if t > self._max_steps:
-                raise SimulationError(
-                    f"no completion after {self._max_steps} steps; "
-                    f"{len(alive)} jobs alive — scheduler "
-                    f"{scheduler.name!r} is not making progress"
-                )
-            # Fast-forward idle intervals: nobody alive, arrivals later.
-            if (
-                not alive
-                and next_pending < len(pending)
-                and pending[next_pending].release_time >= t
-            ):
-                skip_to = pending[next_pending].release_time + 1
-                idle_steps += skip_to - t
-                t = skip_to
-            arrivals: list[int] = []
-            while (
-                next_pending < len(pending)
-                and pending[next_pending].release_time < t
-            ):
-                job = pending[next_pending]
-                next_pending += 1
-                alive[job.job_id] = job
-                arrivals.append(job.job_id)
-
-            step_machine = machine
-            if self._capacity_schedule is not None:
-                caps_t = tuple(int(c) for c in self._capacity_schedule(t))
-                if any(
-                    not 1 <= c <= nominal
-                    for c, nominal in zip(caps_t, machine.capacities)
-                ) or len(caps_t) != machine.num_categories:
-                    raise SimulationError(
-                        f"capacity schedule at t={t} returned {caps_t}; "
-                        f"need {machine.num_categories} values in "
-                        f"[1, nominal {machine.capacities}]"
-                    )
-                if caps_t != machine.capacities:
-                    step_machine = KResourceMachine(
-                        caps_t, names=machine.names
-                    )
-                scheduler.rebind(step_machine)
-
-            desires = {jid: job.desire_vector() for jid, job in alive.items()}
-            allotments = scheduler.allocate(
-                t, desires, jobs=alive if scheduler.clairvoyant else None
-            )
-            if self._validate:
-                check_allotments(step_machine, desires, allotments)
-
-            executed: dict[int, list[list[int]]] = {}
-            progress = 0
-            for jid, alloc in allotments.items():
-                alloc = np.asarray(alloc, dtype=np.int64)
-                if not alloc.any():
-                    continue
-                executed[jid] = alive[jid].execute(alloc, self._policy, self._rng)
-                busy += alloc
-                progress += int(alloc.sum())
-            if progress == 0 and alive:
-                raise SimulationError(
-                    f"step {t}: scheduler {scheduler.name!r} executed nothing "
-                    f"while {len(alive)} jobs are active — not work-conserving"
-                )
-
-            if self._on_step is not None:
-                self._on_step(t, alive)
-
-            completions: list[int] = []
-            for jid in list(alive):
-                if alive[jid].is_complete:
-                    alive[jid].completion_time = t
-                    completion[jid] = t
-                    completions.append(jid)
-                    del alive[jid]
-            if completions:
-                makespan = t
-
-            if trace is not None:
-                trace.append(
-                    StepRecord(
-                        t=t,
-                        desires=desires,
-                        allotments={
-                            jid: np.asarray(a, dtype=np.int64)
-                            for jid, a in allotments.items()
-                        },
-                        executed=executed,
-                        arrivals=tuple(arrivals),
-                        completions=tuple(completions),
-                    )
-                )
-
-        return SimulationResult(
-            scheduler_name=scheduler.name,
-            num_jobs=len(jobs),
-            capacities=machine.capacities,
-            makespan=makespan,
-            completion_times=completion,
-            release_times=release,
-            idle_steps=idle_steps,
-            busy=busy,
-            trace=trace,
-        )
+        sim._state = st
+        return sim
 
 
 def simulate(
@@ -267,6 +705,9 @@ def simulate(
     validate: bool = True,
     fresh: bool = True,
     capacity_schedule=None,
+    fault_model=None,
+    retry_policy=None,
+    max_stall_steps: int = 1000,
 ) -> SimulationResult:
     """One-call convenience: run ``jobset`` under ``scheduler``.
 
@@ -285,4 +726,7 @@ def simulate(
         max_steps=max_steps,
         validate=validate,
         capacity_schedule=capacity_schedule,
+        fault_model=fault_model,
+        retry_policy=retry_policy,
+        max_stall_steps=max_stall_steps,
     ).run()

@@ -1,26 +1,54 @@
-"""Capacity-schedule generators for failure injection.
+"""Failure injection: capacity schedules and task/job fault models.
 
-A *capacity schedule* maps a step number to the per-category processor
-counts actually available that step (maintenance windows, transient
-failures, co-tenant pressure).  The engine re-binds the scheduler to the
-degraded view each step (state intact), so these compose with every
-scheduler in the repository.
+Two orthogonal failure surfaces compose with every scheduler in the
+repository:
+
+* A *capacity schedule* maps a step number to the per-category processor
+  counts actually available that step (maintenance windows, transient
+  failures, co-tenant pressure).  The engine re-binds the scheduler to the
+  degraded view each step (state intact).  Capacities may drop all the way
+  to **0** — a full-category outage; the engine absorbs the resulting
+  zero-progress steps as *stalls* (bounded by ``max_stall_steps``) instead
+  of crashing.
+* A :class:`FaultModel` acts on the work itself: it can fail individual
+  unit tasks after they executed (the work is wasted and the task re-enters
+  the ready frontier) and kill whole jobs (resubmitted as fresh copies by a
+  :class:`~repro.sim.retry.RetryPolicy`, or lost permanently without one).
 
 All generators are deterministic functions of ``t`` (random ones derive
-per-step RNGs from a seed), so runs remain exactly reproducible.
+per-step child RNGs from a seed), so runs remain exactly reproducible and
+checkpoint/resume cannot diverge.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["periodic_outage", "RandomDegradation"]
+__all__ = [
+    "periodic_outage",
+    "RandomDegradation",
+    "FaultModel",
+    "TaskFailures",
+    "JobKiller",
+    "ScriptedKills",
+    "CompositeFaultModel",
+]
 
 
+def _step_rng(seed: int, t: int) -> np.random.Generator:
+    """Per-step child RNG: a pure function of (seed, t), call-order free."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=(int(seed), int(t)))
+    )
+
+
+# ----------------------------------------------------------------------
+# capacity schedules
+# ----------------------------------------------------------------------
 def periodic_outage(
     nominal: Sequence[int],
     category: int,
@@ -31,6 +59,10 @@ def periodic_outage(
 ):
     """Every ``period`` steps, ``category`` drops to ``degraded`` processors
     for ``duration`` steps (a recurring maintenance window).
+
+    ``degraded`` may be **0**: the category goes completely dark for the
+    window and the engine counts the resulting zero-progress steps as
+    stalls rather than failing.
 
     Returns a schedule callable for ``Simulator(capacity_schedule=...)``.
     """
@@ -44,10 +76,10 @@ def periodic_outage(
             f"need 1 <= duration <= period; got period={period}, "
             f"duration={duration}"
         )
-    if not 1 <= degraded <= nominal[category]:
+    if not 0 <= degraded <= nominal[category]:
         raise SimulationError(
-            f"degraded capacity {degraded} must be in [1, "
-            f"{nominal[category]}]"
+            f"degraded capacity {degraded} must be in [0, "
+            f"{nominal[category]}] (0 = full outage)"
         )
 
     def schedule(t: int) -> tuple[int, ...]:
@@ -61,7 +93,12 @@ def periodic_outage(
 
 class RandomDegradation:
     """Each step, each category independently keeps a binomial fraction of
-    its processors (at least 1) with survival probability ``availability``.
+    its processors with survival probability ``availability``.
+
+    A category may lose **every** processor for a step (and with
+    ``availability=0.0`` the whole machine goes dark); the engine's stall
+    accounting absorbs such steps.  Pass ``floor=1`` to reproduce the old
+    always-at-least-one-processor behaviour.
 
     Deterministic given ``seed``: the step's draw comes from a per-step
     child RNG, so the schedule is a pure function of ``t`` no matter the
@@ -74,20 +111,164 @@ class RandomDegradation:
         *,
         availability: float = 0.8,
         seed: int = 0,
+        floor: int = 0,
     ) -> None:
         self.nominal = tuple(int(c) for c in nominal)
-        if not 0.0 < availability <= 1.0:
+        if not 0.0 <= availability <= 1.0:
             raise SimulationError(
-                f"availability must be in (0, 1], got {availability}"
+                f"availability must be in [0, 1], got {availability}"
+            )
+        if not 0 <= floor <= min(self.nominal):
+            raise SimulationError(
+                f"floor must be in [0, {min(self.nominal)}], got {floor}"
             )
         self.availability = float(availability)
         self.seed = int(seed)
+        self.floor = int(floor)
 
     def __call__(self, t: int) -> tuple[int, ...]:
-        rng = np.random.default_rng(
-            np.random.SeedSequence(entropy=(self.seed, int(t)))
-        )
+        rng = _step_rng(self.seed, t)
         return tuple(
-            max(1, int(rng.binomial(c, self.availability)))
+            max(self.floor, int(rng.binomial(c, self.availability)))
             for c in self.nominal
         )
+
+
+# ----------------------------------------------------------------------
+# task/job fault models
+# ----------------------------------------------------------------------
+class FaultModel:
+    """Base class for task- and job-level fault injection.
+
+    The engine consults a fault model once per executed step:
+
+    * :meth:`task_failures` receives the step's executed task map and
+      returns the subset that *failed* — their work is wasted, the tasks
+      re-enter the ready frontier, and the owning job is not complete
+      until they re-execute;
+    * :meth:`job_kills` receives the live job ids and returns those to
+      kill — all work of the current attempt is wasted and the job is
+      resubmitted per the run's :class:`~repro.sim.retry.RetryPolicy`
+      (or lost permanently without one).
+
+    Both default to "no faults"; subclasses override what they need.
+    Implementations must be deterministic functions of ``t`` (use
+    per-step child RNGs) so runs stay reproducible and resumable.
+    """
+
+    def task_failures(
+        self, t: int, executed: Mapping[int, list[list[int]]]
+    ) -> dict[int, list[list[int]]]:
+        """``job_id -> per-category failed task ids`` (subsets of
+        ``executed``).  Jobs/categories with no failures may be omitted."""
+        return {}
+
+    def job_kills(self, t: int, alive: Sequence[int]) -> Iterable[int]:
+        """Job ids (among ``alive``) killed at step ``t``."""
+        return ()
+
+
+class TaskFailures(FaultModel):
+    """Each executed unit task independently fails with probability
+    ``rate`` (work wasted, task re-enqueued).
+
+    The draw for step ``t`` comes from a per-step child RNG over the
+    executed tasks in (job id, category, position) order, so failures are
+    a pure function of ``(seed, t, executed)``.
+    """
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError(
+                f"task failure rate must be in [0, 1), got {rate}"
+            )
+        self.rate = float(rate)
+        self.seed = int(seed)
+
+    def task_failures(self, t, executed):
+        if self.rate == 0.0:
+            return {}
+        rng = _step_rng(self.seed, t)
+        out: dict[int, list[list[int]]] = {}
+        for jid in sorted(executed):
+            per_cat = executed[jid]
+            failed = [
+                [v for v in tasks if rng.random() < self.rate]
+                for tasks in per_cat
+            ]
+            if any(failed):
+                out[jid] = failed
+        return out
+
+
+class JobKiller(FaultModel):
+    """Each live job independently dies with probability ``rate`` per step
+    (process crash, node loss): the whole attempt's work is wasted."""
+
+    def __init__(self, rate: float, *, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError(
+                f"job kill rate must be in [0, 1), got {rate}"
+            )
+        self.rate = float(rate)
+        self.seed = int(seed)
+
+    def job_kills(self, t, alive):
+        if self.rate == 0.0:
+            return ()
+        rng = _step_rng(self.seed, t)
+        return [jid for jid in sorted(alive) if rng.random() < self.rate]
+
+
+class ScriptedKills(FaultModel):
+    """Kill specific jobs at specific steps: ``{step: [job ids]}``.
+
+    The deterministic workhorse for tests and certificates — no RNG at
+    all.  A scheduled kill is a no-op if the job is not alive at that step
+    (already finished, not yet released, or previously killed and waiting
+    out its backoff).
+    """
+
+    def __init__(self, kills: Mapping[int, Sequence[int]]) -> None:
+        self.kills = {
+            int(t): tuple(int(j) for j in jids) for t, jids in kills.items()
+        }
+        for t in self.kills:
+            if t < 1:
+                raise SimulationError(f"kill step must be >= 1, got {t}")
+
+    def job_kills(self, t, alive):
+        alive_set = set(alive)
+        return [j for j in self.kills.get(t, ()) if j in alive_set]
+
+
+class CompositeFaultModel(FaultModel):
+    """Union of several fault models (task failures and kills combined)."""
+
+    def __init__(self, models: Sequence[FaultModel]) -> None:
+        self.models = tuple(models)
+
+    def task_failures(self, t, executed):
+        out: dict[int, list[list[int]]] = {}
+        for model in self.models:
+            for jid, per_cat in model.task_failures(t, executed).items():
+                if jid not in out:
+                    out[jid] = [list(tasks) for tasks in per_cat]
+                    continue
+                merged = out[jid]
+                for alpha, tasks in enumerate(per_cat):
+                    present = set(merged[alpha])
+                    merged[alpha].extend(
+                        v for v in tasks if v not in present
+                    )
+        return out
+
+    def job_kills(self, t, alive):
+        killed: list[int] = []
+        seen: set[int] = set()
+        for model in self.models:
+            for jid in model.job_kills(t, alive):
+                if jid not in seen:
+                    seen.add(jid)
+                    killed.append(jid)
+        return killed

@@ -60,6 +60,22 @@ class RecordingScheduler(Scheduler):
         self.inner.reset(machine)
         self.records = []
 
+    def rebind(self, machine: KResourceMachine) -> None:
+        # Must forward to the wrapped scheduler: under a degraded capacity
+        # view the inner scheduler would otherwise keep allocating against
+        # nominal capacities and violate the step's real limits.
+        super().rebind(machine)
+        self.inner.rebind(machine)
+
+    def state_dict(self) -> dict:
+        # Records are in-memory diagnostics, not run state; only the inner
+        # scheduler's state affects the schedule, so only it is
+        # checkpointed (a resumed run starts with empty records).
+        return {"inner": self.inner.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.inner.load_state_dict(state["inner"])
+
     def allocate(self, t, desires, jobs=None):
         allotments = self.inner.allocate(t, desires, jobs=jobs)
         self.records.append(

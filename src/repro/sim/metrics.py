@@ -23,6 +23,8 @@ __all__ = [
     "MetricsSummary",
     "summarize_result",
     "reallocation_volume",
+    "RobustnessSummary",
+    "summarize_robustness",
 ]
 
 
@@ -108,6 +110,72 @@ def reallocation_volume(trace) -> dict[str, float]:
             b = np.asarray(cur.allotments.get(jid, zero))
             total += float(np.abs(a - b).sum())
     return {"total": total, "per_step": total / (len(steps) - 1)}
+
+
+@dataclass(frozen=True)
+class RobustnessSummary:
+    """Fault-tolerance digest of one run (zeros for healthy runs).
+
+    *Wasted work* is every processor-step whose output was discarded —
+    failed tasks plus the executed work of killed attempts.  *Goodput* is
+    utilization counting only work that survived.  ``longest_stall`` is
+    the worst observed time-to-recovery: the longest run of steps on
+    which live jobs existed but nothing could execute (e.g. a full
+    category outage).
+    """
+
+    scheduler: str
+    makespan: int
+    completed_jobs: int
+    failed_jobs: int
+    total_wasted: int
+    wasted_fraction: float  # wasted / executed processor-steps
+    goodput: tuple[float, ...]
+    total_retries: int
+    max_retries_per_job: int
+    stall_steps: int
+    longest_stall: int
+
+    def as_row(self) -> list:
+        """Row form for :func:`repro.analysis.tables.format_table`."""
+        return [
+            self.scheduler,
+            self.makespan,
+            self.total_wasted,
+            self.wasted_fraction,
+            self.total_retries,
+            self.stall_steps,
+            self.longest_stall,
+        ]
+
+    ROW_HEADERS = [
+        "scheduler",
+        "makespan",
+        "wasted",
+        "wasted frac",
+        "retries",
+        "stall steps",
+        "longest stall",
+    ]
+
+
+def summarize_robustness(result: SimulationResult) -> RobustnessSummary:
+    """Digest a (possibly fault-injected) run into robustness metrics."""
+    executed = int(np.asarray(result.busy).sum())
+    wasted = result.total_wasted
+    return RobustnessSummary(
+        scheduler=result.scheduler_name,
+        makespan=result.makespan,
+        completed_jobs=len(result.completion_times),
+        failed_jobs=len(result.failed_jobs),
+        total_wasted=wasted,
+        wasted_fraction=(wasted / executed) if executed else 0.0,
+        goodput=tuple(float(g) for g in result.goodput_vector()),
+        total_retries=result.total_retries,
+        max_retries_per_job=max(result.retries.values(), default=0),
+        stall_steps=result.stall_steps,
+        longest_stall=result.longest_stall,
+    )
 
 
 def summarize_result(

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,10 +31,23 @@ class SimulationResult:
     release_times: dict[int, int]
     #: steps during which no job was available (idle intervals, Section 5)
     idle_steps: int
-    #: per-category executed work units (for utilization)
+    #: per-category executed work units (for utilization; includes wasted
+    #: units — they occupied processors)
     busy: np.ndarray
     #: full schedule, present when the run recorded one
     trace: Trace | None = None
+    #: per-category work units discarded by fault injection (failed tasks
+    #: plus the executed work of killed attempts); None for fault-free runs
+    wasted: np.ndarray | None = None
+    #: steps on which live jobs existed but nothing executed (outages)
+    stall_steps: int = 0
+    #: length of the longest consecutive zero-progress interval — the
+    #: worst time-to-recovery observed
+    longest_stall: int = 0
+    #: job_id -> number of resubmissions after kills (only jobs retried)
+    retries: dict[int, int] = field(default_factory=dict)
+    #: jobs permanently lost (killed with retry attempts exhausted)
+    failed_jobs: tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -58,8 +71,15 @@ class SimulationResult:
 
     @property
     def mean_response_time(self) -> float:
-        """``R(J) / |J|`` — the paper's second objective."""
-        return self.total_response_time / self.num_jobs
+        """``R(J) / |J|`` — the paper's second objective.
+
+        Averaged over *completed* jobs; identical to the paper's
+        definition except on fault-injected runs that permanently lost
+        jobs, which have no response time.
+        """
+        if not self.completion_times:
+            return 0.0
+        return self.total_response_time / len(self.completion_times)
 
     def utilization(self, category: int) -> float:
         """Fraction of ``category`` processor-steps doing useful work."""
@@ -74,14 +94,56 @@ class SimulationResult:
             [self.utilization(a) for a in range(self.num_categories)]
         )
 
+    # ------------------------------------------------------------------
+    # robustness metrics (fault-injected runs)
+    # ------------------------------------------------------------------
+    def wasted_work_vector(self) -> np.ndarray:
+        """Per-category units discarded by faults (zeros when fault-free)."""
+        if self.wasted is None:
+            return np.zeros(self.num_categories, dtype=np.int64)
+        return np.asarray(self.wasted, dtype=np.int64)
+
+    @property
+    def total_wasted(self) -> int:
+        """All processor-steps whose work was thrown away."""
+        return int(self.wasted_work_vector().sum())
+
+    @property
+    def total_retries(self) -> int:
+        """Total job resubmissions across the run."""
+        return sum(self.retries.values())
+
+    def goodput(self, category: int) -> float:
+        """Fraction of ``category`` processor-steps doing work that
+        *survived* — utilization minus the wasted share."""
+        if self.makespan == 0:
+            return 0.0
+        useful = float(self.busy[category]) - float(
+            self.wasted_work_vector()[category]
+        )
+        return useful / (self.capacities[category] * self.makespan)
+
+    def goodput_vector(self) -> np.ndarray:
+        return np.asarray(
+            [self.goodput(a) for a in range(self.num_categories)]
+        )
+
     def summary(self) -> str:
         """One-line human-readable digest."""
         util = ", ".join(f"{u:.2f}" for u in self.utilization_vector())
-        return (
+        line = (
             f"{self.scheduler_name}: makespan={self.makespan} "
             f"mean_rt={self.mean_response_time:.2f} "
             f"idle={self.idle_steps} util=[{util}]"
         )
+        if self.total_wasted or self.stall_steps or self.retries:
+            line += (
+                f" wasted={self.total_wasted} stalls={self.stall_steps} "
+                f"retries={self.total_retries}"
+            )
+        if self.failed_jobs:
+            line += f" failed_jobs={len(self.failed_jobs)}"
+        return line
 
     def __post_init__(self) -> None:
         if self.makespan < 0:
@@ -94,3 +156,16 @@ class SimulationResult:
                     f"job {jid} completes at {ct}, not after release "
                     f"{self.release_times[jid]}"
                 )
+        overlap = set(self.failed_jobs) & set(self.completion_times)
+        if overlap:
+            raise SimulationError(
+                f"jobs {sorted(overlap)} both completed and permanently "
+                "failed"
+            )
+        if self.wasted is not None and (
+            self.wasted_work_vector() > np.asarray(self.busy)
+        ).any():
+            raise SimulationError(
+                f"wasted work {self.wasted_work_vector().tolist()} exceeds "
+                f"executed work {np.asarray(self.busy).tolist()}"
+            )

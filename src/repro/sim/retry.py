@@ -1,0 +1,105 @@
+"""Retry policy for killed jobs: capped attempts, exponential backoff.
+
+When a :class:`~repro.sim.faults.FaultModel` kills a job, the engine
+consults the run's :class:`RetryPolicy`: the job is resubmitted as a fresh
+copy after a backoff delay that grows exponentially with the attempt
+number, up to ``max_attempts`` total executions.  Without a policy, a
+killed job is lost permanently (reported in
+``SimulationResult.failed_jobs``).
+
+The policy is pure arithmetic — no RNG, no clock — so retried runs remain
+deterministic and checkpoint/resume safe.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Resubmission schedule for killed jobs.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total execution attempts allowed per job (first run included).
+        A job killed on its ``max_attempts``-th attempt is permanently
+        failed.
+    base_delay:
+        Backoff before the second attempt, in steps (>= 1): a job killed
+        at step ``t`` may first re-execute at ``t + delay``.
+    factor:
+        Multiplier applied per subsequent attempt (>= 1).
+    max_delay:
+        Upper bound on any single backoff.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        base_delay: int = 1,
+        factor: float = 2.0,
+        max_delay: int = 64,
+    ) -> None:
+        if max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if base_delay < 1:
+            raise SimulationError(
+                f"base_delay must be >= 1 step, got {base_delay}"
+            )
+        if factor < 1.0:
+            raise SimulationError(f"factor must be >= 1, got {factor}")
+        if max_delay < base_delay:
+            raise SimulationError(
+                f"max_delay {max_delay} below base_delay {base_delay}"
+            )
+        self.max_attempts = int(max_attempts)
+        self.base_delay = int(base_delay)
+        self.factor = float(factor)
+        self.max_delay = int(max_delay)
+
+    def delay(self, attempt: int) -> int:
+        """Backoff in steps before attempt ``attempt + 1``.
+
+        ``attempt`` counts completed executions (1 = the first run just
+        died).  The killed job may first re-execute ``delay`` steps after
+        the kill step.
+        """
+        if attempt < 1:
+            raise SimulationError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_delay * self.factor ** (attempt - 1)
+        return min(self.max_delay, int(raw))
+
+    def allows_retry(self, attempt: int) -> bool:
+        """True when a job killed on its ``attempt``-th run may resubmit."""
+        return attempt < self.max_attempts
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "factor": self.factor,
+            "max_delay": self.max_delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(
+            max_attempts=int(data["max_attempts"]),
+            base_delay=int(data["base_delay"]),
+            factor=float(data["factor"]),
+            max_delay=int(data["max_delay"]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, factor={self.factor}, "
+            f"max_delay={self.max_delay})"
+        )

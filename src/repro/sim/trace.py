@@ -34,6 +34,12 @@ class StepRecord:
         ``job_id -> [per-category list of executed task ids]``.
     arrivals / completions:
         Job ids released into / completed at this step.
+    failed:
+        ``job_id -> [per-category list of failed task ids]`` — tasks that
+        executed this step but whose work was wasted by fault injection
+        (subsets of ``executed``; empty for healthy runs).
+    killed:
+        Job ids killed at this step (their whole attempt is wasted).
     """
 
     t: int
@@ -42,21 +48,35 @@ class StepRecord:
     executed: dict[int, list[list[int]]]
     arrivals: tuple[int, ...] = ()
     completions: tuple[int, ...] = ()
+    failed: dict[int, list[list[int]]] = field(default_factory=dict)
+    killed: tuple[int, ...] = ()
 
     def executed_count(self, category: int) -> int:
-        """Units of ``category``-work done this step (all jobs)."""
+        """Units of ``category``-work occupying processors this step (all
+        jobs, wasted executions included)."""
         return sum(len(tasks[category]) for tasks in self.executed.values())
+
+    def failed_count(self, category: int) -> int:
+        """Units of ``category``-work wasted to task failures this step."""
+        return sum(len(tasks[category]) for tasks in self.failed.values())
 
 
 @dataclass(frozen=True)
 class PlacedTask:
-    """One task occurrence with its reconstructed processor placement."""
+    """One task occurrence with its reconstructed processor placement.
+
+    ``wasted`` marks occurrences whose work was discarded by fault
+    injection (the task failed that step, or the job was later killed and
+    restarted); the occurrence still occupied a real processor slot, but
+    it is not the one that satisfies precedence/completeness.
+    """
 
     t: int
     job_id: int
     category: int
     task_id: int
     processor: int
+    wasted: bool = False
 
 
 @dataclass
@@ -80,17 +100,32 @@ class Trace:
     def __iter__(self) -> Iterator[StepRecord]:
         return iter(self.steps)
 
+    def last_kill_steps(self) -> dict[int, int]:
+        """``job_id -> last step it was killed at`` (empty if no kills)."""
+        out: dict[int, int] = {}
+        for rec in self.steps:
+            for jid in rec.killed:
+                out[jid] = rec.t
+        return out
+
     def placements(self) -> Iterator[PlacedTask]:
         """Reconstruct ``pi_alpha``: pack executed tasks onto processors.
 
         Within a step and category, tasks occupy processors in job
         iteration order (which is arrival order) — a deterministic,
-        capacity-respecting assignment.
+        capacity-respecting assignment.  Occurrences discarded by fault
+        injection (failed that step, or belonging to an attempt that was
+        later killed) are flagged ``wasted``.
         """
+        last_kill = self.last_kill_steps()
         for rec in self.steps:
             next_proc = [0] * self.num_categories
             for job_id, per_cat in rec.executed.items():
+                failed_per_cat = rec.failed.get(job_id)
                 for alpha, tasks in enumerate(per_cat):
+                    failed = (
+                        set(failed_per_cat[alpha]) if failed_per_cat else ()
+                    )
                     for task_id in tasks:
                         yield PlacedTask(
                             t=rec.t,
@@ -98,14 +133,23 @@ class Trace:
                             category=alpha,
                             task_id=task_id,
                             processor=next_proc[alpha],
+                            wasted=(
+                                task_id in failed
+                                or rec.t <= last_kill.get(job_id, 0)
+                            ),
                         )
                         next_proc[alpha] += 1
 
     def task_times(self) -> dict[tuple[int, int], int]:
-        """``tau``: map ``(job_id, task_id) -> step`` over the whole trace."""
+        """``tau``: map ``(job_id, task_id) -> step`` over the whole trace.
+
+        Wasted occurrences are skipped — ``tau`` records the execution
+        that actually counted.
+        """
         tau: dict[tuple[int, int], int] = {}
         for p in self.placements():
-            tau[(p.job_id, p.task_id)] = p.t
+            if not p.wasted:
+                tau[(p.job_id, p.task_id)] = p.t
         return tau
 
     def busy_matrix(self) -> np.ndarray:

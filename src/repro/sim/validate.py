@@ -26,17 +26,31 @@ from repro.sim.trace import Trace
 __all__ = ["validate_schedule"]
 
 
-def validate_schedule(trace: Trace, jobset: JobSet) -> None:
+def validate_schedule(
+    trace: Trace,
+    jobset: JobSet,
+    *,
+    failed_jobs: tuple[int, ...] = (),
+) -> None:
     """Raise :class:`ValidationError` unless ``trace`` is a valid schedule.
 
     ``jobset`` must be the *original* (or a fresh copy of the) job set the
     trace was produced from; DAG structure is read from it for the
     precedence check.  Phase jobs have no explicit precedence edges; for
     them the per-category capacity and uniqueness checks still apply.
+
+    Fault-injected traces validate too: occurrences flagged ``wasted``
+    (failed tasks, killed attempts) still count against capacity and slot
+    uniqueness — they occupied real processors — but are excluded from the
+    execute-exactly-once, precedence and completeness checks, which apply
+    to the executions that survived.  ``failed_jobs`` names jobs the run
+    permanently abandoned (retry attempts exhausted); their completeness
+    and precedence are not checked.
     """
     jobs = {j.job_id: j for j in jobset}
     k = trace.num_categories
     caps = trace.capacities
+    abandoned = set(failed_jobs)
 
     tau: dict[tuple[int, int], int] = {}
     slot_seen: set[tuple[int, int, int]] = set()
@@ -60,12 +74,14 @@ def validate_schedule(trace: Trace, jobset: JobSet) -> None:
                 f"job {placed.job_id} executed at step {placed.t} but was "
                 f"released at {release[placed.job_id]}"
             )
-        key = (placed.job_id, placed.task_id)
-        if key in tau:
-            raise ValidationError(
-                f"task {key} executed twice (steps {tau[key]} and {placed.t})"
-            )
-        tau[key] = placed.t
+        if not placed.wasted:
+            key = (placed.job_id, placed.task_id)
+            if key in tau:
+                raise ValidationError(
+                    f"task {key} executed twice (steps {tau[key]} and "
+                    f"{placed.t})"
+                )
+            tau[key] = placed.t
         slot = (placed.t, placed.category, placed.processor)
         if slot in slot_seen:
             raise ValidationError(
@@ -87,6 +103,8 @@ def validate_schedule(trace: Trace, jobset: JobSet) -> None:
 
     # completeness, category correctness and precedence for DAG jobs
     for jid, job in jobs.items():
+        if jid in abandoned:
+            continue
         if isinstance(job, DagJob):
             dag = job.dag
             for v in dag.vertices():

@@ -116,3 +116,58 @@ class TestCliAll:
         )
         assert cli.main(["all"]) == 1
         assert "SOME EXPERIMENTS FAILED" in capsys.readouterr().out
+
+
+class TestFaultsSubcommand:
+    def test_healthy_probe(self, capsys):
+        assert main(["faults", "--jobs", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fault probe" in out
+        assert "completed 4/4 jobs" in out
+        assert "goodput per category" in out
+
+    def test_task_failures_probe(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--jobs",
+                    "4",
+                    "--task-fail-rate",
+                    "0.2",
+                    "--seed",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wasted" in out
+
+    def test_full_outage_probe(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--jobs",
+                    "3",
+                    "--capacities",
+                    "4",
+                    "--outage",
+                    "6:2:0",
+                    "--seed",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stall" in out
+
+    def test_bad_outage_spec(self, capsys):
+        assert main(["faults", "--outage", "nope"]) == 2
+        assert "krad faults" in capsys.readouterr().err
+
+    def test_bad_rate_rejected(self, capsys):
+        assert main(["faults", "--task-fail-rate", "1.5"]) == 2
+        assert "task failure rate" in capsys.readouterr().err

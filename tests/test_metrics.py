@@ -89,3 +89,70 @@ class TestLightWorkloadEquivalence:
         b = simulate(machine, KDeq(), js)
         # both complete all work; traces may differ in RR vs rotation order
         assert a.makespan >= 15 and b.makespan >= 15
+
+
+class TestRobustnessMetrics:
+    def _chain_js(self, *lengths):
+        return JobSet.from_dags(
+            [builders.chain([0] * n, 1) for n in lengths]
+        )
+
+    def test_healthy_run_all_zeros(self, rng):
+        from repro.sim import summarize_robustness
+
+        machine = KResourceMachine((4,))
+        js = workloads.random_dag_jobset(rng, 1, 3, size_hint=10)
+        s = summarize_robustness(simulate(machine, KRad(), js))
+        assert s.total_wasted == 0
+        assert s.wasted_fraction == 0.0
+        assert s.total_retries == 0
+        assert s.failed_jobs == 0
+        assert s.stall_steps == 0
+        assert s.completed_jobs == len(js)
+
+    def test_wasted_and_goodput_after_kill(self):
+        from repro.sim import RetryPolicy, summarize_robustness
+        from repro.sim.faults import ScriptedKills
+
+        machine = KResourceMachine((2,))
+        js = self._chain_js(6)
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            fault_model=ScriptedKills({3: [0]}),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=1),
+        )
+        s = summarize_robustness(r)
+        assert s.total_wasted == 3  # three chain steps discarded
+        assert s.total_retries == 1
+        assert s.max_retries_per_job == 1
+        assert 0.0 < s.wasted_fraction < 1.0
+        assert all(0.0 <= g <= 1.0 for g in s.goodput)
+
+    def test_stalls_surface(self, rng):
+        from repro.sim import summarize_robustness
+        from repro.sim.faults import periodic_outage
+
+        machine = KResourceMachine((4,))
+        js = workloads.random_dag_jobset(rng, 1, 3, size_hint=12)
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            capacity_schedule=periodic_outage(
+                (4,), category=0, period=5, duration=2, degraded=0
+            ),
+        )
+        s = summarize_robustness(r)
+        assert s.stall_steps > 0
+        assert s.longest_stall >= 1
+        assert s.longest_stall <= s.stall_steps
+
+    def test_as_row_matches_headers(self):
+        from repro.sim import summarize_robustness
+
+        machine = KResourceMachine((2,))
+        js = self._chain_js(3)
+        s = summarize_robustness(simulate(machine, KRad(), js))
+        assert len(s.as_row()) == len(s.ROW_HEADERS)

@@ -44,13 +44,27 @@ class TestWeightedSpan:
 
     def test_mixed_speeds(self):
         dag = builders.chain([0, 1, 0], 2)
-        # path cost 1/1 + 1/2 + 1/1 = 2.5
-        assert weighted_span(dag, (1, 2)) == pytest.approx(2.5)
+        # step 1: v0 in round 0, v1 in round 1 (cat 1 runs rounds 0-1);
+        # v2 is cat 0 (round 0 only) so it needs step 2.
+        assert weighted_span(dag, (1, 2)) == pytest.approx(2.0)
+
+    def test_chain_crosses_categories_within_a_step(self):
+        # The engine lets a fast successor run in a later micro-round of
+        # the same macro step, so this two-task chain costs ONE step, not
+        # 1/1 + 1/2.  Regression for an over-strong earlier bound.
+        dag = builders.chain([0, 1], 2)
+        assert weighted_span(dag, (1, 2)) == pytest.approx(1.0)
+
+    def test_same_category_chain_packs_rounds(self):
+        # five cat-1 tasks at speed 2: two per macro step -> ceil(5/2)
+        dag = builders.chain([1] * 5, 2)
+        assert weighted_span(dag, (1, 2)) == pytest.approx(3.0)
 
     def test_picks_heaviest_path(self):
         dag = builders.fork_join(2, 1, 2, fork_category=0, join_category=0)
-        # path: fork(0) -> body(1) -> join(0) = 1 + 1/4 + 1 with speed 4
-        assert weighted_span(dag, (1, 4)) == pytest.approx(2.25)
+        # fork(0) round 0, body(1) round 1 (speed 4 runs rounds 0-3),
+        # join(0) is round-0-only -> step 2
+        assert weighted_span(dag, (1, 4)) == pytest.approx(2.0)
 
     def test_empty_dag(self):
         from repro.dag import KDag

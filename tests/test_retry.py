@@ -1,0 +1,168 @@
+"""Tests for RetryPolicy and engine-level kill/resubmit semantics."""
+
+import pytest
+
+from repro.dag import builders
+from repro.errors import SimulationError
+from repro.jobs import workloads
+from repro.jobs.jobset import JobSet
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad
+from repro.sim import RetryPolicy, simulate, validate_schedule
+from repro.sim.faults import JobKiller, ScriptedKills
+
+import numpy as np
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        p = RetryPolicy(max_attempts=5, base_delay=2, factor=2.0, max_delay=64)
+        assert p.delay(1) == 2
+        assert p.delay(2) == 4
+        assert p.delay(3) == 8
+
+    def test_delay_capped(self):
+        p = RetryPolicy(max_attempts=9, base_delay=4, factor=4.0, max_delay=20)
+        assert p.delay(1) == 4
+        assert p.delay(2) == 16
+        assert p.delay(3) == 20  # capped
+        assert p.delay(8) == 20
+
+    def test_attempt_cap(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.allows_retry(1)
+        assert p.allows_retry(2)
+        assert not p.allows_retry(3)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(base_delay=0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(base_delay=4, max_delay=2)
+        with pytest.raises(SimulationError):
+            p = RetryPolicy()
+            p.delay(0)
+
+    def test_round_trip(self):
+        p = RetryPolicy(max_attempts=4, base_delay=3, factor=1.5, max_delay=30)
+        q = RetryPolicy.from_dict(p.to_dict())
+        assert q.to_dict() == p.to_dict()
+
+
+def _chain_jobset(*lengths: int) -> JobSet:
+    """Deterministic K=1 chains: job i executes one task per step."""
+    return JobSet.from_dags(
+        [builders.chain([0] * n, 1) for n in lengths]
+    )
+
+
+class TestKillResubmit:
+    def test_killed_job_retried_and_completes(self):
+        machine = KResourceMachine((4,))
+        js = _chain_jobset(6, 3, 3)  # victim (job 0) runs steps 1..6
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            fault_model=ScriptedKills({2: [0]}),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=2),
+            record_trace=True,
+        )
+        assert r.failed_jobs == ()
+        assert set(r.completion_times) == {0, 1, 2}
+        assert r.retries == {0: 1}
+        assert r.total_retries == 1
+        validate_schedule(r.trace, js)
+
+    def test_backoff_delays_restart(self):
+        machine = KResourceMachine((4,))
+        js = _chain_jobset(4)
+        delay = 5
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            fault_model=ScriptedKills({1: [0]}),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=delay),
+            record_trace=True,
+        )
+        # killed at step 1; no useful placement before step 1 + delay
+        restart_steps = [
+            p.t
+            for p in r.trace.placements()
+            if p.job_id == 0 and not p.wasted
+        ]
+        assert restart_steps
+        assert min(restart_steps) >= 1 + delay
+        # retry re-runs the whole chain: 4 useful + 1 wasted step
+        assert r.completion_times[0] == 1 + delay + 4 - 1
+
+    def test_attempts_exhausted_fails_permanently(self):
+        machine = KResourceMachine((4,))
+        js = _chain_jobset(6, 3)
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            # kill the victim every step it could possibly be alive
+            fault_model=ScriptedKills({t: [0] for t in range(1, 40)}),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=1),
+        )
+        assert r.failed_jobs == (0,)
+        assert 0 not in r.completion_times
+        assert set(r.completion_times) == {1}
+        assert r.retries.get(0) == 1  # retried once, then gave up
+
+    def test_wasted_counts_killed_progress(self):
+        machine = KResourceMachine((2,))
+        js = _chain_jobset(6)
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            fault_model=ScriptedKills({3: [0]}),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=1),
+        )
+        # 3 steps of the chain executed before the kill — all wasted
+        assert r.total_wasted == 3
+        # busy minus wasted is exactly the useful (completed) work
+        useful = r.busy - r.wasted_work_vector()
+        assert useful.tolist() == js.total_work_vector().tolist()
+
+    def test_goodput_below_one(self):
+        machine = KResourceMachine((2,))
+        js = _chain_jobset(6, 4)
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            fault_model=ScriptedKills({2: [0]}),
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=1),
+        )
+        g = r.goodput_vector()
+        assert np.all(g >= 0.0)
+        assert np.all(g <= 1.0)
+        assert g[0] < 1.0  # wasted work shows up
+
+    def test_deterministic_with_random_killer(self, rng):
+        machine = KResourceMachine((4, 2))
+        js = workloads.random_dag_jobset(rng, 2, 4, size_hint=8)
+
+        def run():
+            return simulate(
+                machine,
+                KRad(),
+                js,
+                fault_model=JobKiller(0.05, seed=3),
+                retry_policy=RetryPolicy(max_attempts=4, base_delay=2),
+            )
+
+        r1, r2 = run(), run()
+        assert r1.completion_times == r2.completion_times
+        assert r1.retries == r2.retries
+        assert r1.failed_jobs == r2.failed_jobs
+        assert r1.makespan == r2.makespan
