@@ -87,6 +87,18 @@ def test_failure_injection(benchmark):
     assert report.passed, report.failing_checks()
 
 
+def test_elastic_churn(benchmark):
+    from repro.experiments import exp_churn
+
+    report = benchmark.pedantic(
+        exp_churn.run, kwargs={"seed": 0, "repeats": 3}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.passed, report.failing_checks()
+
+
 def test_true_optimum_small_instances(benchmark):
     from repro.experiments import exp_optimal
 

@@ -19,6 +19,13 @@ Probe fault tolerance on an ad-hoc workload::
 
     krad faults --capacities 8,4 --jobs 10 --task-fail-rate 0.1
     krad faults --outage 10:4:0 --kill-rate 0.05 --max-attempts 4
+
+Run a supervised, journaled simulation with elastic churn, then recover
+it from the journal after a crash::
+
+    krad supervise --capacities 4,2 --jobs 12 --churn 5:0:-3:4 \\
+        --journal run.journal
+    krad recover run.journal
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ _DESCRIPTIONS = {
     "FEEDBACK": "extension: A-GREEDY history-based desires",
     "ABLATE": "ablation of K-RAD design choices",
     "FAULT": "extension: outages, task failures, kills + retry/backoff",
+    "CHURN": "extension: elastic processor churn + DEQ/RR state migration",
     "HUNT": "adversarial instance search vs the exact optimum",
 }
 
@@ -195,6 +203,12 @@ def _build_faults_parser() -> argparse.ArgumentParser:
         default=1000,
         help="abort after this many consecutive zero-progress steps",
     )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also append the rendered metrics table to FILE",
+    )
     return parser
 
 
@@ -223,6 +237,12 @@ def _faults_main(argv: list[str]) -> int:
             int(c) for c in args.capacities.split(",") if c.strip()
         )
         machine = KResourceMachine(capacities)
+
+        if args.outage is not None and args.availability is not None:
+            raise ValueError(
+                "--outage and --availability are mutually exclusive; "
+                "pick one capacity-fault mode"
+            )
 
         capacity_schedule = None
         if args.outage is not None:
@@ -283,23 +303,229 @@ def _faults_main(argv: list[str]) -> int:
         return 2
 
     s = summarize_robustness(result)
-    print(
-        format_table(
-            s.ROW_HEADERS,
-            [s.as_row()],
-            title=(
-                f"fault probe: {args.jobs} jobs on {capacities}, "
-                f"seed {args.seed}"
-            ),
-        )
+    table = format_table(
+        s.ROW_HEADERS,
+        [s.as_row()],
+        title=(
+            f"fault probe: {args.jobs} jobs on {capacities}, "
+            f"seed {args.seed}"
+        ),
     )
+    print(table)
     print(
         f"completed {s.completed_jobs}/{args.jobs} jobs"
         + (f", {s.failed_jobs} permanently failed" if s.failed_jobs else "")
     )
     goodput = ", ".join(f"{g:.3f}" for g in s.goodput)
     print(f"goodput per category: {goodput}")
+    if args.out:
+        try:
+            with open(args.out, "a", encoding="utf-8") as fh:
+                fh.write(table + "\n\n")
+        except OSError as exc:
+            print(f"krad faults: cannot write {args.out}: {exc}",
+                  file=sys.stderr)
+            return 2
     return 0 if not s.failed_jobs else 1
+
+
+def _build_supervise_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="krad supervise",
+        description=(
+            "Run one K-RAD simulation under runtime invariant monitors, "
+            "optionally with elastic processor churn and a crash-safe "
+            "write-ahead journal"
+        ),
+    )
+    parser.add_argument(
+        "--capacities",
+        default="4,2",
+        help="comma-separated per-category processor counts (default 4,2)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=10, help="number of random DAG jobs"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("strict", "resilient"),
+        default="resilient",
+        help="strict: raise on the first invariant violation; resilient: "
+        "quarantine the offending job and keep going (default)",
+    )
+    parser.add_argument(
+        "--churn",
+        action="append",
+        default=None,
+        metavar="STEP:CAT:DELTA[:DURATION]",
+        help="elastic capacity change, repeatable; e.g. 5:0:-3:4 removes "
+        "3 category-0 processors at step 5 for 4 steps, 8:1:+2 adds 2 "
+        "category-1 processors permanently",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="write-ahead journal file ('krad recover FILE' resumes a "
+        "crashed run from it)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="full checkpoint record every N steps in the journal",
+    )
+    parser.add_argument(
+        "--inject-violation",
+        default=None,
+        metavar="STEP:JOB",
+        help="drill: fire a synthetic invariant violation for JOB at STEP "
+        "to exercise the strict/resilient path",
+    )
+    return parser
+
+
+def _parse_churn_events(specs: list[str]):
+    from repro.machine.churn import ChurnEvent
+
+    events = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"--churn wants STEP:CAT:DELTA[:DURATION], got {spec!r}"
+            )
+        events.append(
+            ChurnEvent(
+                step=int(parts[0]),
+                category=int(parts[1]),
+                delta=int(parts[2]),
+                duration=int(parts[3]) if len(parts) == 4 else None,
+            )
+        )
+    return events
+
+
+def _supervise_main(argv: list[str]) -> int:
+    """The ``krad supervise`` subcommand: monitored/journaled simulation."""
+    import numpy as np
+
+    from repro.errors import InvariantViolation
+    from repro.jobs import workloads
+    from repro.machine.churn import ChurnSchedule
+    from repro.machine.machine import KResourceMachine
+    from repro.schedulers.krad import KRad
+    from repro.sim import (
+        Journal,
+        ScriptedViolation,
+        Simulator,
+        Supervisor,
+        default_monitors,
+    )
+
+    args = _build_supervise_parser().parse_args(argv)
+    try:
+        capacities = tuple(
+            int(c) for c in args.capacities.split(",") if c.strip()
+        )
+        machine = KResourceMachine(capacities)
+
+        monitors = default_monitors()
+        if args.inject_violation is not None:
+            parts = args.inject_violation.split(":")
+            if len(parts) != 2:
+                raise ValueError(
+                    f"--inject-violation wants STEP:JOB, got "
+                    f"{args.inject_violation!r}"
+                )
+            monitors.append(
+                ScriptedViolation(step=int(parts[0]), job_id=int(parts[1]))
+            )
+        supervisor = Supervisor(monitors, mode=args.mode)
+
+        churn = None
+        if args.churn:
+            churn = ChurnSchedule(
+                capacities, _parse_churn_events(args.churn)
+            )
+        journal = (
+            Journal(args.journal, checkpoint_every=args.checkpoint_every)
+            if args.journal is not None
+            else None
+        )
+
+        rng = np.random.default_rng(args.seed)
+        js = workloads.random_dag_jobset(
+            rng, machine.num_categories, args.jobs, size_hint=20
+        )
+        scheduler = KRad()
+        result = Simulator(
+            machine,
+            scheduler,
+            js,
+            seed=args.seed,
+            supervisor=supervisor,
+            churn=churn,
+            journal=journal,
+        ).run()
+    except InvariantViolation as exc:
+        print(f"krad supervise: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # surface model errors as CLI errors
+        print(f"krad supervise: {exc}", file=sys.stderr)
+        return 2
+
+    print(result.summary())
+    for inc in result.incidents:
+        print(
+            f"incident: step {inc.step} [{inc.monitor}] {inc.action}: "
+            f"{inc.message}"
+        )
+    if churn is not None:
+        for alpha, ledger in enumerate(scheduler.churn_transitions()):
+            moves = ", ".join(f"{k}={v}" for k, v in ledger.items() if v)
+            print(f"category {alpha} migrations: {moves or 'none'}")
+    if args.journal is not None:
+        print(f"journal: {args.journal}")
+    return 0 if not result.quarantined_jobs and not result.failed_jobs else 1
+
+
+def _recover_main(argv: list[str]) -> int:
+    """The ``krad recover`` subcommand: resume a crashed journaled run."""
+    parser = argparse.ArgumentParser(
+        prog="krad recover",
+        description=(
+            "Rebuild a crashed simulation from its write-ahead journal "
+            "(truncating any torn tail), replay it with digest "
+            "verification, and run it to completion"
+        ),
+    )
+    parser.add_argument(
+        "journal", help="journal file from 'krad supervise --journal'"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.sim import Simulator
+
+    try:
+        sim = Simulator.recover(args.journal)
+        result = sim.run()
+    except Exception as exc:
+        print(f"krad recover: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"recovered from {args.journal}")
+    print(result.summary())
+    for inc in result.incidents:
+        print(
+            f"incident: step {inc.step} [{inc.monitor}] {inc.action}: "
+            f"{inc.message}"
+        )
+    return 0 if not result.quarantined_jobs and not result.failed_jobs else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -307,6 +533,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "faults":
         return _faults_main(argv[1:])
+    if argv and argv[0] == "supervise":
+        return _supervise_main(argv[1:])
+    if argv and argv[0] == "recover":
+        return _recover_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.upper()
     if target == "LIST":

@@ -32,5 +32,35 @@ class SimulationError(ReproError):
     """Raised when a simulation cannot make progress or exceeds its budget."""
 
 
+class SerializationError(ReproError):
+    """Raised for malformed, incomplete or wrong-version serialized
+    documents (checkpoints, traces, job sets) — never a bare KeyError."""
+
+
+class InvariantViolation(SimulationError):
+    """Raised (strict supervision mode) when a runtime invariant monitor
+    fires.  Carries the step, the monitor name and — when attributable —
+    the offending job and category."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        step: int,
+        monitor: str,
+        job_id: int | None = None,
+        category: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.step = int(step)
+        self.monitor = str(monitor)
+        self.job_id = None if job_id is None else int(job_id)
+        self.category = None if category is None else int(category)
+
+
+class JournalError(ReproError):
+    """Raised for unreadable/corrupt journals or a replay divergence."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload/job-set specifications."""

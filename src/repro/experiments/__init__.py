@@ -13,6 +13,7 @@ from repro.experiments import (
     exp_ablation,
     exp_adaptivity,
     exp_applications,
+    exp_churn,
     exp_fairness,
     exp_faults,
     exp_hunt,
@@ -59,6 +60,7 @@ REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
     "FEEDBACK": exp_feedback.run,
     "ABLATE": exp_ablation.run,
     "FAULT": exp_faults.run,
+    "CHURN": exp_churn.run,
     "HUNT": exp_hunt.run,
 }
 

@@ -54,31 +54,6 @@ from repro.experiments.common import ExperimentReport
 __all__ = ["run"]
 
 
-def _time_expanded_lower_bound(
-    jobset: JobSet,
-    machine: KResourceMachine,
-    capacity_schedule,
-    horizon: int,
-) -> float:
-    """Earliest completion any schedule could reach on the degraded machine.
-
-    Necessary conditions: by the finish step ``T``, the schedule has
-    offered at least ``T1(J, alpha)`` processor-steps of every category
-    (capacities accumulate per the schedule), and ``T`` is at least the
-    release+span bound.  The smallest ``T`` meeting both is a valid lower
-    bound for *every* scheduler on this (machine, schedule) pair.
-    """
-    need = jobset.total_work_vector().astype(np.int64)
-    offered = np.zeros_like(need)
-    work_time = horizon  # fallback when the horizon is never enough
-    for t in range(1, horizon + 1):
-        offered += np.asarray(capacity_schedule(t), dtype=np.int64)
-        if (offered >= need).all():
-            work_time = t
-            break
-    return float(max(work_time, jobset.max_release_plus_span()))
-
-
 def _augmented_lower_bound(
     jobset: JobSet, machine: KResourceMachine, wasted: np.ndarray
 ) -> float:
@@ -179,8 +154,8 @@ def run(
             ("random degradation", degradation),
         ):
             r = results[label]
-            lb_deg = _time_expanded_lower_bound(
-                js, machine, schedule, horizon=2 * r.makespan + 10
+            lb_deg = bounds.time_expanded_lower_bound(
+                js, schedule, horizon=2 * r.makespan + 10
             )
             check(
                 f"{label}: within Theorem-3 ratio of degraded-machine LB",

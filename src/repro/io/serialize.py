@@ -15,7 +15,7 @@ import json
 from typing import Any
 
 from repro.dag.kdag import KDag
-from repro.errors import ReproError
+from repro.errors import SerializationError
 from repro.jobs.base import Job
 from repro.jobs.dag_job import DagJob
 from repro.jobs.jobset import JobSet
@@ -44,13 +44,13 @@ _VERSION = 1
 
 def _check_header(data: dict, expected: str) -> None:
     if not isinstance(data, dict):
-        raise ReproError(f"expected a JSON object for {expected}")
+        raise SerializationError(f"expected a JSON object for {expected}")
     if data.get("format") != expected:
-        raise ReproError(
+        raise SerializationError(
             f"expected format {expected!r}, got {data.get('format')!r}"
         )
     if data.get("version") != _VERSION:
-        raise ReproError(
+        raise SerializationError(
             f"unsupported {expected} version {data.get('version')!r} "
             f"(this build reads version {_VERSION})"
         )
@@ -122,7 +122,7 @@ def job_to_dict(job: Job) -> dict[str, Any]:
             for ph in job.phases
         ]
         return base
-    raise ReproError(
+    raise SerializationError(
         f"cannot serialise job backend {type(job).__name__}; "
         "only DagJob and PhaseJob are supported"
     )
@@ -146,7 +146,7 @@ def job_from_dict(data: dict[str, Any]) -> Job:
             job_id=int(data["job_id"]),
             release_time=int(data["release_time"]),
         )
-    raise ReproError(f"unknown job backend {backend!r}")
+    raise SerializationError(f"unknown job backend {backend!r}")
 
 
 # ----------------------------------------------------------------------
@@ -214,7 +214,7 @@ def dump_checkpoint(checkpoint: dict[str, Any], path: str) -> None:
     round-trip (and its format check) lives next to the other loaders.
     """
     if checkpoint.get("format") != "checkpoint":
-        raise ReproError(
+        raise SerializationError(
             f"expected a checkpoint document, got format "
             f"{checkpoint.get('format')!r}"
         )
@@ -231,5 +231,5 @@ def load_checkpoint(path: str) -> dict[str, Any]:
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
     if not isinstance(data, dict) or data.get("format") != "checkpoint":
-        raise ReproError(f"{path} is not a checkpoint document")
+        raise SerializationError(f"{path} is not a checkpoint document")
     return data

@@ -1,5 +1,11 @@
 """K-resource machine model."""
 
+from repro.machine.churn import ChurnEvent, ChurnSchedule
 from repro.machine.machine import KResourceMachine, homogeneous_machine
 
-__all__ = ["KResourceMachine", "homogeneous_machine"]
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "KResourceMachine",
+    "homogeneous_machine",
+]

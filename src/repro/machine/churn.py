@@ -1,0 +1,195 @@
+"""Elastic processor churn: first-class capacity change events.
+
+The paper proves K-RAD's guarantees for fixed per-category counts
+``P_alpha``; a production machine gains and loses processors under the
+scheduler's feet (autoscaling, node replacement, maintenance, spot
+preemption).  A :class:`ChurnSchedule` describes that as a list of
+:class:`ChurnEvent`\\ s — add or remove ``|delta|`` ``alpha``-processors at
+step ``t``, permanently or for a bounded duration — applied on top of the
+nominal capacities.
+
+Unlike the failure-injection capacity schedules of :mod:`repro.sim.faults`
+(which only *degrade* within the nominal machine), churn may **grow** a
+category past its nominal count.  The engine rebinds the scheduler to the
+resized machine view each step with its state intact and notifies it of
+every boundary crossing (:meth:`repro.schedulers.base.Scheduler.\
+notify_capacity_change`), so RAD's per-category DEQ/RR state machine
+migrates rather than resets: a shrink mid-cycle re-batches the open
+round-robin cycle at the smaller width, a growth absorbs the cycle back
+into DEQ on the next step.
+
+Everything here is plain data — events serialise losslessly into journal
+meta records, so :meth:`repro.sim.engine.Simulator.recover` can rebuild
+the exact capacity profile of a crashed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["ChurnEvent", "ChurnSchedule"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One capacity change: ``delta`` processors of ``category`` at ``step``.
+
+    Attributes
+    ----------
+    step:
+        First step (1-based) at which the change is in effect.
+    category:
+        Processor category index.
+    delta:
+        Signed processor count: positive adds, negative removes.
+    duration:
+        ``None`` makes the change permanent; otherwise it reverts at step
+        ``step + duration`` (the change is live for exactly ``duration``
+        steps).
+    """
+
+    step: int
+    category: int
+    delta: int
+    duration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise SimulationError(
+                f"churn event step must be >= 1, got {self.step}"
+            )
+        if self.delta == 0:
+            raise SimulationError("churn event delta must be non-zero")
+        if self.duration is not None and self.duration < 1:
+            raise SimulationError(
+                f"churn event duration must be >= 1 (or None for "
+                f"permanent), got {self.duration}"
+            )
+
+    def active_at(self, t: int) -> bool:
+        """True when this event's delta applies at step ``t``."""
+        if t < self.step:
+            return False
+        return self.duration is None or t < self.step + self.duration
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "step": self.step,
+            "category": self.category,
+            "delta": self.delta,
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChurnEvent":
+        return cls(
+            step=int(data["step"]),
+            category=int(data["category"]),
+            delta=int(data["delta"]),
+            duration=(
+                None if data.get("duration") is None
+                else int(data["duration"])
+            ),
+        )
+
+
+class ChurnSchedule:
+    """The realized capacity profile ``P_alpha(t)`` of a churning machine.
+
+    Capacities never go negative: removals beyond the present count clamp
+    at zero (the category is dark until processors return).  The profile
+    is a pure function of ``t``, so churned runs stay deterministic and
+    checkpoint/resume safe.
+    """
+
+    def __init__(
+        self, nominal: Sequence[int], events: Sequence[ChurnEvent]
+    ) -> None:
+        self.nominal = tuple(int(c) for c in nominal)
+        if not self.nominal or any(c < 1 for c in self.nominal):
+            raise SimulationError(
+                f"nominal capacities must all be >= 1, got {self.nominal}"
+            )
+        self.events = tuple(events)
+        for ev in self.events:
+            if not isinstance(ev, ChurnEvent):
+                raise SimulationError(
+                    f"churn schedule wants ChurnEvent entries, got "
+                    f"{type(ev).__name__}"
+                )
+            if not 0 <= ev.category < len(self.nominal):
+                raise SimulationError(
+                    f"churn event category {ev.category} out of range for "
+                    f"{len(self.nominal)} categories"
+                )
+
+    @property
+    def num_categories(self) -> int:
+        return len(self.nominal)
+
+    def capacities(self, t: int) -> tuple[int, ...]:
+        """``(P_1(t), ..., P_K(t))`` — nominal plus every active delta."""
+        caps = list(self.nominal)
+        for ev in self.events:
+            if ev.active_at(t):
+                caps[ev.category] += ev.delta
+        return tuple(max(0, c) for c in caps)
+
+    __call__ = capacities
+
+    def breakpoints(self) -> tuple[int, ...]:
+        """Sorted steps at which the profile may change (plus step 1)."""
+        points = {1}
+        for ev in self.events:
+            points.add(ev.step)
+            if ev.duration is not None:
+                points.add(ev.step + ev.duration)
+        return tuple(sorted(points))
+
+    def peak_capacities(self) -> tuple[int, ...]:
+        """Element-wise maximum of the profile over all time.
+
+        This is the *envelope machine*: trace recording and processor
+        indexing use it so that every realized step fits.
+        """
+        peak = list(self.nominal)
+        for bp in self.breakpoints():
+            for alpha, c in enumerate(self.capacities(bp)):
+                peak[alpha] = max(peak[alpha], c)
+        return tuple(peak)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "churn-schedule",
+            "version": 1,
+            "nominal": list(self.nominal),
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChurnSchedule":
+        from repro.errors import SerializationError
+
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != "churn-schedule"
+        ):
+            raise SerializationError("expected a churn-schedule document")
+        if data.get("version") != 1:
+            raise SerializationError(
+                f"unsupported churn-schedule version "
+                f"{data.get('version')!r}"
+            )
+        return cls(
+            data["nominal"],
+            [ChurnEvent.from_dict(ev) for ev in data["events"]],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChurnSchedule(nominal={self.nominal}, "
+            f"events={len(self.events)})"
+        )

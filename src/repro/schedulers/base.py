@@ -68,6 +68,20 @@ class Scheduler(ABC):
             )
         self._machine = machine
 
+    def notify_capacity_change(
+        self,
+        old_capacities: tuple[int, ...],
+        new_capacities: tuple[int, ...],
+    ) -> None:
+        """Hook fired by the engine when the effective capacities change.
+
+        Called once per boundary crossing (churn events, degradation
+        windows opening/closing), *before* the rebind to the resized view.
+        The default is a no-op; stateful schedulers override it to migrate
+        capacity-dependent state — e.g. RAD re-batches an open round-robin
+        cycle on shrink and absorbs it back into DEQ on growth.
+        """
+
     # ------------------------------------------------------------------
     # checkpoint surface
     # ------------------------------------------------------------------

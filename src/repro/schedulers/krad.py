@@ -51,6 +51,24 @@ class KRad(Scheduler):
         """Inspect one category's RAD state (tests/diagnostics)."""
         return self._states[alpha]
 
+    def notify_capacity_change(self, old_capacities, new_capacities):
+        """Migrate each category's DEQ/RR state across a ``P_alpha`` change.
+
+        Fired by the engine on every churn/degradation boundary.  The
+        per-category RAD instance keeps its queue and marks; it records a
+        re-batch (shrink mid-cycle) or an absorption (growth mid-cycle) in
+        its migration ledger — see
+        :meth:`~repro.schedulers.rad.RadCategoryState.on_resize`.
+        """
+        for alpha, state in enumerate(self._states):
+            state.on_resize(
+                int(old_capacities[alpha]), int(new_capacities[alpha])
+            )
+
+    def churn_transitions(self) -> list[dict[str, int]]:
+        """Per-category DEQ<->RR transition counts (diagnostics)."""
+        return [s.transitions for s in self._states]
+
     def state_dict(self) -> dict:
         return {"states": [s.state_dict() for s in self._states]}
 

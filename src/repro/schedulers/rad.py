@@ -42,13 +42,22 @@ class RadCategoryState:
     recency).
     """
 
-    __slots__ = ("_order", "_seen", "_marked", "_rotate_enabled")
+    __slots__ = ("_order", "_seen", "_marked", "_rotate_enabled", "_transitions")
+
+    #: DEQ<->RR state-machine transition kinds tracked per category
+    TRANSITION_KINDS = ("deq_to_rr", "rr_to_deq", "rebatch", "absorb")
 
     def __init__(self, rotate: bool = True) -> None:
         self._order: list[int] = []  # FIFO service order
         self._seen: set[int] = set()
         self._marked: set[int] = set()  # scheduled in the current RR cycle
         self._rotate_enabled = bool(rotate)
+        # DEQ<->RR migration ledger: cycle opens ("deq_to_rr"), cycle
+        # closes ("rr_to_deq"), capacity resized mid-cycle ("rebatch" on
+        # shrink, "absorb" on growth).  Diagnostic only — allocation
+        # decisions never read it — but checkpointed so resumed runs
+        # report identical histories.
+        self._transitions = dict.fromkeys(self.TRANSITION_KINDS, 0)
 
     def register(self, job_ids) -> None:
         """Add newly arrived jobs (in the given order) to the queue back."""
@@ -70,6 +79,7 @@ class RadCategoryState:
             "order": list(self._order),
             "marked": sorted(self._marked),
             "rotate": self._rotate_enabled,
+            "transitions": dict(self._transitions),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -77,6 +87,43 @@ class RadCategoryState:
         self._seen = set(self._order)
         self._marked = {int(j) for j in state["marked"]}
         self._rotate_enabled = bool(state["rotate"])
+        self._transitions = dict.fromkeys(self.TRANSITION_KINDS, 0)
+        self._transitions.update(
+            {
+                k: int(v)
+                for k, v in state.get("transitions", {}).items()
+                if k in self._transitions
+            }
+        )
+
+    @property
+    def transitions(self) -> dict[str, int]:
+        """Counts of DEQ<->RR state-machine transitions (copy)."""
+        return dict(self._transitions)
+
+    def on_resize(self, old_capacity: int, new_capacity: int) -> str:
+        """Migrate the DEQ/RR state machine across a capacity boundary.
+
+        Marks (round-robin service credit) always survive a resize — a job
+        already served this cycle stays served.  What changes is how the
+        open cycle proceeds:
+
+        * **shrink mid-cycle** (``"rebatch"``): the remaining unmarked jobs
+          are re-batched at the smaller width — subsequent RR steps serve
+          ``new_capacity`` jobs at a time, and the cycle simply takes more
+          steps to close;
+        * **growth mid-cycle** (``"absorb"``): if the unmarked remainder
+          now fits, the very next step closes the cycle by a DEQ partition
+          that absorbs the marked jobs — immediate RR -> DEQ absorption.
+
+        Returns the transition label (``"none"`` outside a cycle) and
+        records it in the migration ledger.
+        """
+        if new_capacity == old_capacity or not self._marked:
+            return "none"
+        kind = "rebatch" if new_capacity < old_capacity else "absorb"
+        self._transitions[kind] += 1
+        return kind
 
     @property
     def marked_jobs(self) -> frozenset[int]:
@@ -108,6 +155,8 @@ class RadCategoryState:
         take = min(len(q_prime), capacity - len(q))
         q = q + q_prime[:take]
         closing_cycle = bool(self._marked)
+        if closing_cycle:
+            self._transitions["rr_to_deq"] += 1
         self._marked.clear()
         if not q:
             return {}
@@ -123,6 +172,8 @@ class RadCategoryState:
         return alloc
 
     def _round_robin_step(self, q: list[int], capacity: int) -> dict[int, int]:
+        if not self._marked and capacity > 0:  # a fresh cycle opens
+            self._transitions["deq_to_rr"] += 1
         chosen = q[:capacity]
         self._marked.update(chosen)
         self._rotate(chosen)
@@ -174,6 +225,17 @@ class Rad(Scheduler):
 
     def load_state_dict(self, state: dict) -> None:
         self._state.load_state_dict(state["state"])
+
+    def category_state(self, alpha: int = 0) -> RadCategoryState:
+        """The single category's RAD state (tests/diagnostics)."""
+        if alpha != 0:
+            raise ValueError(f"Rad has one category, asked for {alpha}")
+        return self._state
+
+    def notify_capacity_change(self, old_capacities, new_capacities):
+        self._state.on_resize(
+            int(old_capacities[0]), int(new_capacities[0])
+        )
 
     def allocate(self, t, desires, jobs=None):
         self._state.register(desires.keys())

@@ -11,6 +11,7 @@ from repro.sim.faults import (
     periodic_outage,
 )
 from repro.sim.instrument import AllocationRecord, RecordingScheduler
+from repro.sim.journal import Journal, JournalRecord, read_journal, state_digest
 from repro.sim.metrics import (
     MetricsSummary,
     RobustnessSummary,
@@ -21,6 +22,19 @@ from repro.sim.metrics import (
 )
 from repro.sim.results import SimulationResult
 from repro.sim.retry import RetryPolicy
+from repro.sim.supervisor import (
+    CheckpointDeterminismMonitor,
+    FeasibilityMonitor,
+    Incident,
+    Monitor,
+    RadBatchingMonitor,
+    ScriptedViolation,
+    StepView,
+    Supervisor,
+    Violation,
+    WorkConservationMonitor,
+    default_monitors,
+)
 from repro.sim.trace import PlacedTask, StepRecord, Trace
 from repro.sim.validate import validate_schedule
 
@@ -48,4 +62,19 @@ __all__ = [
     "StepRecord",
     "Trace",
     "validate_schedule",
+    "Journal",
+    "JournalRecord",
+    "read_journal",
+    "state_digest",
+    "CheckpointDeterminismMonitor",
+    "FeasibilityMonitor",
+    "Incident",
+    "Monitor",
+    "RadBatchingMonitor",
+    "ScriptedViolation",
+    "StepView",
+    "Supervisor",
+    "Violation",
+    "WorkConservationMonitor",
+    "default_monitors",
 ]

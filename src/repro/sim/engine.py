@@ -30,8 +30,23 @@ Fault tolerance (all optional, all deterministic):
   full mid-run state (engine, scheduler, jobs, RNG, trace) so an
   interrupted-and-resumed run produces a bitwise-identical result.
 
+Supervised execution (all optional, all deterministic):
+
+* ``supervisor`` evaluates runtime invariant monitors after every step —
+  ``strict`` mode raises :class:`~repro.errors.InvariantViolation`,
+  ``resilient`` mode quarantines the offending job and records a
+  structured :class:`~repro.sim.supervisor.Incident`;
+* ``churn`` applies first-class :class:`~repro.machine.churn.ChurnEvent`
+  capacity changes — unlike ``capacity_schedule`` it may *grow* a
+  category past its nominal count; the scheduler is notified of every
+  boundary so RAD's DEQ/RR state machine migrates instead of resetting;
+* ``journal`` write-ahead-logs every step (CRC-framed, fsync'd) with
+  periodic full checkpoints; :meth:`Simulator.recover` rebuilds a crashed
+  run from the journal, truncates torn tails, replays to the last valid
+  record with digest verification, and resumes bit-for-bit.
+
 The engine is deterministic given (job set, scheduler, policy, seed,
-capacity schedule, fault model, retry policy).
+capacity schedule, churn schedule, fault model, retry policy, supervisor).
 """
 
 from __future__ import annotations
@@ -40,18 +55,64 @@ import heapq
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import (
+    JournalError,
+    SerializationError,
+    SimulationError,
+)
 from repro.jobs.base import Job
 from repro.jobs.jobset import JobSet
 from repro.jobs.policies import FIFO, ExecutionPolicy
+from repro.machine.churn import ChurnSchedule
 from repro.machine.machine import KResourceMachine
 from repro.schedulers.base import Scheduler, check_allotments
 from repro.sim.results import SimulationResult
+from repro.sim.supervisor import Incident, StepView, Supervisor
 from repro.sim.trace import StepRecord, Trace
 
 __all__ = ["Simulator", "simulate"]
 
-_CHECKPOINT_VERSION = 1
+_CHECKPOINT_VERSION = 2
+
+#: top-level / engine keys a checkpoint document must carry; validated up
+#: front so a malformed document fails with a clear SerializationError
+#: instead of a KeyError deep in deserialization
+_CHECKPOINT_KEYS = (
+    "machine",
+    "scheduler",
+    "rng",
+    "engine",
+    "jobs",
+    "alive",
+    "resubmit",
+    "quarantined",
+    "trace",
+)
+_ENGINE_KEYS = (
+    "t",
+    "next_pending",
+    "idle_steps",
+    "stall_steps",
+    "stall_run",
+    "longest_stall",
+    "makespan",
+    "busy",
+    "wasted",
+    "completion",
+    "release",
+    "attempts",
+    "failed_jobs",
+    "max_steps",
+    "max_stall_steps",
+    "validate",
+    "has_fault_model",
+    "has_capacity_schedule",
+    "has_churn",
+    "has_supervisor",
+    "last_caps",
+    "incidents",
+    "quarantined_ids",
+)
 
 
 class _RunState:
@@ -75,6 +136,9 @@ class _RunState:
         "failed_jobs",
         "resubmit",
         "trace",
+        "last_caps",
+        "incidents",
+        "quarantined",
     )
 
     def __init__(self) -> None:
@@ -95,6 +159,12 @@ class _RunState:
         self.failed_jobs: list[int] = []
         self.resubmit: list[tuple[int, int, Job]] = []
         self.trace: Trace | None = None
+        #: effective capacities of the previous step (boundary detection)
+        self.last_caps: tuple[int, ...] = ()
+        #: incidents absorbed in resilient supervision mode (plain dicts)
+        self.incidents: list[dict] = []
+        #: jobs pulled from the live set by the supervisor
+        self.quarantined: dict[int, Job] = {}
 
 
 class Simulator:
@@ -142,6 +212,24 @@ class Simulator:
         Optional :class:`~repro.sim.retry.RetryPolicy` governing
         resubmission of killed jobs (fresh copy, exponential backoff,
         attempt cap).  Without one, killed jobs are lost permanently.
+    supervisor:
+        Optional :class:`~repro.sim.supervisor.Supervisor` evaluating
+        runtime invariant monitors after each step.  ``strict`` mode
+        raises :class:`~repro.errors.InvariantViolation` on the first
+        breach; ``resilient`` mode quarantines the offending job, logs a
+        structured incident, and keeps going.
+    churn:
+        Optional :class:`~repro.machine.churn.ChurnSchedule` of elastic
+        capacity changes (may exceed the nominal machine).  Mutually
+        exclusive with ``capacity_schedule``; the nominal capacities of
+        the schedule must match the machine's.  Trace recording uses the
+        peak envelope so every realized step fits.
+    journal:
+        Optional :class:`~repro.sim.journal.Journal` write-ahead log:
+        run metadata + an immediate checkpoint at start, a digest record
+        per step, a full checkpoint every ``journal.checkpoint_every``
+        steps, and an ``end`` record at completion.  See
+        :meth:`Simulator.recover`.
     max_stall_steps:
         Upper bound on *consecutive* zero-progress steps while jobs are
         live (only reachable under capacity schedules / fault models);
@@ -164,6 +252,9 @@ class Simulator:
         capacity_schedule=None,
         fault_model=None,
         retry_policy=None,
+        supervisor: Supervisor | None = None,
+        churn: ChurnSchedule | None = None,
+        journal=None,
         max_stall_steps: int = 1000,
     ) -> None:
         if jobset.num_categories != machine.num_categories:
@@ -175,6 +266,17 @@ class Simulator:
             raise SimulationError(
                 f"max_stall_steps must be >= 1, got {max_stall_steps}"
             )
+        if churn is not None:
+            if capacity_schedule is not None:
+                raise SimulationError(
+                    "churn and capacity_schedule are mutually exclusive; "
+                    "express degradation as negative churn events"
+                )
+            if churn.nominal != machine.capacities:
+                raise SimulationError(
+                    f"churn schedule nominal {churn.nominal} != machine "
+                    f"capacities {machine.capacities}"
+                )
         self._machine = machine
         self._scheduler = scheduler
         self._jobset = jobset
@@ -187,8 +289,14 @@ class Simulator:
         self._fault_model = fault_model
         self._retry_policy = retry_policy
         self._max_stall_steps = int(max_stall_steps)
+        self._supervisor = supervisor
+        self._churn = churn
+        self._journal = journal
+        self._journal_started = False
         self._faulty = (
-            capacity_schedule is not None or fault_model is not None
+            capacity_schedule is not None
+            or fault_model is not None
+            or churn is not None
         )
         if max_steps is None:
             work = int(jobset.total_work_vector().sum())
@@ -229,12 +337,29 @@ class Simulator:
         st.release = {j.job_id: j.release_time for j in jobs}
         st.busy = np.zeros(k, dtype=np.int64)
         st.wasted = np.zeros(k, dtype=np.int64)
+        st.last_caps = self._machine.capacities
+        # Under churn a category may exceed its nominal count, so the
+        # trace is dimensioned by the peak envelope — every realized
+        # step's processor indices fit.
+        trace_caps = (
+            self._churn.peak_capacities()
+            if self._churn is not None
+            else self._machine.capacities
+        )
         st.trace = (
-            Trace(num_categories=k, capacities=self._machine.capacities)
+            Trace(num_categories=k, capacities=trace_caps)
             if self._record_trace
             else None
         )
         self._state = st
+        if self._journal is not None and not self._journal_started:
+            # Write-ahead header: run metadata (enough to rebuild the
+            # supervisor/churn/policy on recovery) plus an immediate full
+            # checkpoint, so even a journal torn on its first steps
+            # restores to a well-defined state.
+            self._journal_started = True
+            self._journal.append("meta", self._journal_meta())
+            self._journal.append("checkpoint", self.checkpoint())
 
     def _unfinished(self) -> bool:
         st = self._state
@@ -255,22 +380,44 @@ class Simulator:
         return min(candidates) if candidates else None
 
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
+    def run(self, *, validate: bool = False) -> SimulationResult:
         """Execute to completion and return the result.
 
         Jobs are consumed by the run; a second ``run()`` (or passing jobs
         that already executed) raises rather than producing a misleading
         empty schedule — use ``jobset.fresh_copy()`` per run.
+
+        ``validate=True`` additionally proves the *recorded schedule*
+        against the Section-2 model via
+        :func:`repro.sim.validate.validate_schedule` (requires
+        ``record_trace=True``): completeness, precedence, per-category
+        capacity and slot uniqueness.  This is the full post-hoc check,
+        complementing the per-step allotment check the constructor's
+        ``validate`` flag controls.
         """
         if self._result is not None:
             raise SimulationError(
                 "this simulator already ran to completion; simulate a "
                 "fresh copy (jobset.fresh_copy()) instead of re-running"
             )
+        if validate and not self._record_trace:
+            raise SimulationError(
+                "run(validate=True) needs the recorded schedule; "
+                "construct the Simulator with record_trace=True"
+            )
         self._ensure_started()
         while self._unfinished():
             self._step()
-        return self._finalize()
+        result = self._finalize()
+        if validate:
+            from repro.sim.validate import validate_schedule
+
+            validate_schedule(
+                result.trace,
+                self._jobset,
+                failed_jobs=result.failed_jobs + result.quarantined_jobs,
+            )
+        return result
 
     def run_until(self, t_stop: int) -> SimulationResult | None:
         """Advance until the clock passes ``t_stop`` or the run finishes.
@@ -329,6 +476,7 @@ class Simulator:
             arrivals.append(job.job_id)
 
         step_machine = machine
+        caps_t = machine.capacities
         if self._capacity_schedule is not None:
             caps_t = tuple(int(c) for c in self._capacity_schedule(t))
             if len(caps_t) != machine.num_categories or any(
@@ -345,6 +493,21 @@ class Simulator:
                     caps_t, names=machine.names, allow_zero=True
                 )
             scheduler.rebind(step_machine)
+        elif self._churn is not None:
+            # Elastic churn: unlike degradation, capacities may *exceed*
+            # the nominal machine while a transient add is active.
+            caps_t = self._churn.capacities(t)
+            if caps_t != machine.capacities:
+                step_machine = KResourceMachine(
+                    caps_t, names=machine.names, allow_zero=True
+                )
+            scheduler.rebind(step_machine)
+        if caps_t != st.last_caps:
+            # Capacity boundary: let the scheduler migrate its internal
+            # state (RAD re-batches an open RR cycle on shrink, absorbs
+            # it on growth) instead of discovering the change implicitly.
+            scheduler.notify_capacity_change(st.last_caps, caps_t)
+            st.last_caps = caps_t
 
         desires = {jid: job.desire_vector() for jid, job in st.alive.items()}
         allotments = scheduler.allocate(
@@ -366,6 +529,11 @@ class Simulator:
             progress += int(alloc.sum())
 
         failed, killed = self._inject_faults(t, executed)
+
+        if self._supervisor is not None:
+            self._supervise(
+                t, caps_t, desires, allotments, executed
+            )
 
         if progress == 0 and desires:
             if not self._faulty:
@@ -417,6 +585,57 @@ class Simulator:
                     failed=failed,
                     killed=tuple(killed),
                 )
+            )
+
+        if self._journal is not None:
+            self._journal.append(
+                "step", {"t": t, "digest": self.digest()}
+            )
+            if t % self._journal.checkpoint_every == 0 and self._unfinished():
+                self._journal.append("checkpoint", self.checkpoint())
+
+    # ------------------------------------------------------------------
+    def _supervise(
+        self, t, caps_t, desires, allotments, executed
+    ) -> None:
+        """Evaluate invariant monitors against the just-executed step.
+
+        ``strict`` mode propagates :class:`InvariantViolation` from the
+        supervisor.  ``resilient`` mode turns each violation into an
+        :class:`Incident`; a violation attributable to a live,
+        uncompleted job quarantines that job — it leaves the live set
+        (so stall accounting and termination stay honest) and is
+        reported in ``SimulationResult.quarantined_jobs``.
+        """
+        st = self._state
+        view = StepView(
+            t=t,
+            capacities=tuple(caps_t),
+            nominal_capacities=self._machine.capacities,
+            desires=desires,
+            allotments=allotments,
+            executed=executed,
+            scheduler=self._scheduler,
+            checkpoint=self.checkpoint,
+        )
+        for v in self._supervisor.observe(view):  # strict mode raises
+            action = "logged"
+            if v.job_id is not None:
+                job = st.alive.get(v.job_id)
+                if job is not None and not job.is_complete:
+                    del st.alive[v.job_id]
+                    st.quarantined[v.job_id] = job
+                    st.release.pop(v.job_id, None)
+                    action = "quarantined"
+            st.incidents.append(
+                Incident(
+                    step=t,
+                    monitor=v.monitor,
+                    message=v.message,
+                    job_id=v.job_id,
+                    category=v.category,
+                    action=action,
+                ).to_dict()
             )
 
     # ------------------------------------------------------------------
@@ -499,6 +718,9 @@ class Simulator:
         retries = {
             jid: n - 1 for jid, n in sorted(st.attempts.items()) if n > 1
         }
+        # digest() requires a checkpointable scheduler; only journaled
+        # runs need it (for the end record).
+        final_digest = self.digest() if self._journal is not None else None
         self._result = SimulationResult(
             scheduler_name=self._scheduler.name,
             num_jobs=len(st.pending),
@@ -514,8 +736,86 @@ class Simulator:
             longest_stall=st.longest_stall,
             retries=retries,
             failed_jobs=tuple(sorted(st.failed_jobs)),
+            incidents=tuple(
+                Incident.from_dict(d) for d in st.incidents
+            ),
+            quarantined_jobs=tuple(sorted(st.quarantined)),
         )
+        if self._journal is not None:
+            # A journal without an end record is, by definition, a crash.
+            self._journal.append(
+                "end",
+                {"digest": final_digest, "makespan": st.makespan},
+            )
+            self._journal.close()
         return self._result
+
+    # ------------------------------------------------------------------
+    def digest(self) -> int:
+        """CRC32 fingerprint of the current run state.
+
+        Cheap relative to a full checkpoint (no trace, no static job
+        definitions) yet covers everything that evolves step to step:
+        clock, counters, RNG, live jobs' runtime state and the
+        scheduler's state.  Journals store one per step; recovery replays
+        and requires every digest to match, proving bit-for-bit resume.
+        """
+        from repro.sim.journal import state_digest
+
+        self._ensure_started()
+        st = self._state
+        return state_digest(
+            {
+                "t": st.t,
+                "next_pending": st.next_pending,
+                "idle": st.idle_steps,
+                "stall": [st.stall_steps, st.stall_run, st.longest_stall],
+                "makespan": st.makespan,
+                "busy": st.busy.tolist(),
+                "wasted": st.wasted.tolist(),
+                "completion": {str(j): c for j, c in st.completion.items()},
+                "attempts": {str(j): n for j, n in st.attempts.items()},
+                "failed": list(st.failed_jobs),
+                "alive": {
+                    str(j): job.remaining_work_vector().tolist()
+                    for j, job in st.alive.items()
+                },
+                "resubmit": sorted(
+                    (r, jid) for r, jid, _job in st.resubmit
+                ),
+                "last_caps": list(st.last_caps),
+                "incidents": st.incidents,
+                "quarantined": sorted(st.quarantined),
+                "scheduler": self._scheduler.state_dict(),
+                "rng": self._rng.bit_generator.state,
+            }
+        )
+
+    def _journal_meta(self) -> dict:
+        """The journal's run header (enough to rebuild hooks on recovery)."""
+        from repro.io.serialize import machine_to_dict
+        from repro.sim.journal import JOURNAL_VERSION
+
+        return {
+            "format": "journal",
+            "version": JOURNAL_VERSION,
+            "scheduler": self._scheduler.name,
+            "policy": getattr(self._policy, "name", None),
+            "machine": machine_to_dict(self._machine),
+            "checkpoint_every": self._journal.checkpoint_every,
+            "record_trace": self._record_trace,
+            "has_fault_model": self._fault_model is not None,
+            "has_capacity_schedule": self._capacity_schedule is not None,
+            "has_retry_policy": self._retry_policy is not None,
+            "churn": (
+                self._churn.to_dict() if self._churn is not None else None
+            ),
+            "supervisor": (
+                self._supervisor.to_dict()
+                if self._supervisor is not None
+                else None
+            ),
+        }
 
     # ------------------------------------------------------------------
     # checkpoint / resume
@@ -570,6 +870,11 @@ class Simulator:
                 "has_fault_model": self._fault_model is not None,
                 "has_capacity_schedule": self._capacity_schedule
                 is not None,
+                "has_churn": self._churn is not None,
+                "has_supervisor": self._supervisor is not None,
+                "last_caps": list(st.last_caps),
+                "incidents": [dict(d) for d in st.incidents],
+                "quarantined_ids": sorted(st.quarantined),
             },
             "jobs": [job_snapshot_to_dict(j) for j in st.pending],
             "alive": [
@@ -580,6 +885,10 @@ class Simulator:
                 for r, _jid, job in sorted(
                     st.resubmit, key=lambda e: (e[0], e[1])
                 )
+            ],
+            "quarantined": [
+                job_snapshot_to_dict(st.quarantined[j])
+                for j in sorted(st.quarantined)
             ],
             "trace": (
                 trace_to_dict(st.trace) if st.trace is not None else None
@@ -597,14 +906,19 @@ class Simulator:
         capacity_schedule=None,
         fault_model=None,
         retry_policy=None,
+        supervisor: Supervisor | None = None,
+        churn: ChurnSchedule | None = None,
+        journal=None,
     ) -> "Simulator":
         """Rebuild a mid-run simulator from a :meth:`checkpoint` snapshot.
 
         Callables are not serializable, so the caller re-supplies the
         scheduler instance (same class; its state is restored from the
-        snapshot), the policy and the capacity/fault/retry hooks — they
-        must match the original run for the resumed result to be
-        identical.
+        snapshot), the policy and the capacity/fault/retry/supervisor/
+        churn hooks — they must match the original run for the resumed
+        result to be identical.  A malformed document (wrong format,
+        unknown version, missing sections) fails up front with
+        :class:`~repro.errors.SerializationError` naming the problem.
         """
         from repro.io.serialize import (
             job_snapshot_from_dict,
@@ -613,13 +927,25 @@ class Simulator:
         from repro.io.trace_io import trace_from_dict
 
         if not isinstance(data, dict) or data.get("format") != "checkpoint":
-            raise SimulationError("expected a checkpoint document")
+            raise SerializationError("expected a checkpoint document")
         if data.get("version") != _CHECKPOINT_VERSION:
-            raise SimulationError(
+            raise SerializationError(
                 f"unsupported checkpoint version {data.get('version')!r} "
                 f"(this build reads version {_CHECKPOINT_VERSION})"
             )
+        missing = [k for k in _CHECKPOINT_KEYS if k not in data]
+        if missing:
+            raise SerializationError(
+                f"checkpoint document is missing keys {missing}"
+            )
         eng = data["engine"]
+        if not isinstance(eng, dict):
+            raise SerializationError("checkpoint 'engine' must be a mapping")
+        missing = [k for k in _ENGINE_KEYS if k not in eng]
+        if missing:
+            raise SerializationError(
+                f"checkpoint engine section is missing keys {missing}"
+            )
         if eng["has_fault_model"] != (fault_model is not None):
             raise SimulationError(
                 "checkpointed run and restore disagree on fault_model "
@@ -629,6 +955,15 @@ class Simulator:
             raise SimulationError(
                 "checkpointed run and restore disagree on "
                 "capacity_schedule presence"
+            )
+        if eng["has_churn"] != (churn is not None):
+            raise SimulationError(
+                "checkpointed run and restore disagree on churn presence"
+            )
+        if eng["has_supervisor"] != (supervisor is not None):
+            raise SimulationError(
+                "checkpointed run and restore disagree on supervisor "
+                "presence"
             )
         if scheduler.name != data["scheduler"]["name"]:
             raise SimulationError(
@@ -650,6 +985,8 @@ class Simulator:
             capacity_schedule=capacity_schedule,
             fault_model=fault_model,
             retry_policy=retry_policy,
+            supervisor=supervisor,
+            churn=churn,
             max_stall_steps=eng["max_stall_steps"],
         )
         scheduler.reset(machine)
@@ -684,12 +1021,179 @@ class Simulator:
             job = job_snapshot_from_dict(entry["job"])
             st.resubmit.append((int(entry["release"]), job.job_id, job))
         heapq.heapify(st.resubmit)
+        st.last_caps = tuple(int(c) for c in eng["last_caps"])
+        st.incidents = [dict(d) for d in eng["incidents"]]
+        st.quarantined = {}
+        for snap in data["quarantined"]:
+            job = job_snapshot_from_dict(snap)
+            st.quarantined[job.job_id] = job
+        if sorted(st.quarantined) != [int(j) for j in eng["quarantined_ids"]]:
+            raise SerializationError(
+                "checkpoint quarantined job snapshots do not match "
+                "engine quarantined_ids"
+            )
         st.trace = (
             trace_from_dict(data["trace"])
             if data["trace"] is not None
             else None
         )
         sim._state = st
+        if journal is not None:
+            # A fresh journal attached to a restored run gets its own
+            # header so it is independently recoverable.
+            sim._journal = journal
+            sim._journal_started = True
+            journal.append("meta", sim._journal_meta())
+            journal.append("checkpoint", sim.checkpoint())
+        return sim
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        journal_path: str,
+        *,
+        scheduler: Scheduler | None = None,
+        policy: ExecutionPolicy | None = None,
+        on_step=None,
+        capacity_schedule=None,
+        fault_model=None,
+        retry_policy=None,
+        fsync: bool = True,
+    ) -> "Simulator":
+        """Rebuild a crashed run from its write-ahead journal.
+
+        Reads the valid prefix of ``journal_path`` (a torn or corrupt
+        tail — the signature of a mid-write crash — is detected by CRC
+        framing and physically truncated), restores the last intact
+        checkpoint, then *replays* every journaled step after it,
+        requiring each step's state digest to match the journaled one:
+        recovery is verified bit-for-bit, not assumed.  The returned
+        simulator keeps appending to the same journal, so a
+        crash-recover-crash-recover chain leaves one continuous file.
+
+        The scheduler, policy, supervisor and churn schedule are rebuilt
+        from journal metadata when not supplied; fault models, capacity
+        schedules and retry policies are arbitrary callables the journal
+        cannot capture, so runs using them must pass the identical
+        objects back in.
+
+        Raises :class:`~repro.errors.JournalError` on an unreadable or
+        headerless journal, on a journal whose ``end`` record shows the
+        run already completed, and on replay divergence.
+        """
+        from repro.jobs.policies import policy_by_name
+        from repro.schedulers import scheduler_by_name
+        from repro.sim.journal import (
+            JOURNAL_VERSION,
+            Journal,
+            read_journal,
+        )
+
+        records, _valid_bytes, clean = read_journal(
+            journal_path, truncate=True
+        )
+        if not records or records[0].type != "meta":
+            raise JournalError(
+                f"{journal_path!r} has no valid meta record — not a "
+                "journal, or torn before the header reached disk"
+            )
+        meta = records[0].data
+        if meta.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"unsupported journal version {meta.get('version')!r} "
+                f"(this build reads version {JOURNAL_VERSION})"
+            )
+        if any(r.type == "end" for r in records):
+            raise JournalError(
+                f"{journal_path!r} records a completed run (end record "
+                "present); nothing to recover"
+            )
+        checkpoints = [
+            i for i, r in enumerate(records) if r.type == "checkpoint"
+        ]
+        if not checkpoints:
+            raise JournalError(
+                f"{journal_path!r} holds no intact checkpoint; the "
+                "journal was torn before the initial snapshot reached "
+                "disk — re-run from scratch"
+            )
+        ckpt_idx = checkpoints[-1]
+
+        if meta.get("has_fault_model") and fault_model is None:
+            raise JournalError(
+                "journaled run used a fault model; pass the identical "
+                "fault_model to recover()"
+            )
+        if meta.get("has_capacity_schedule") and capacity_schedule is None:
+            raise JournalError(
+                "journaled run used a capacity schedule; pass the "
+                "identical capacity_schedule to recover()"
+            )
+        if meta.get("has_retry_policy") and retry_policy is None:
+            raise JournalError(
+                "journaled run used a retry policy; pass the identical "
+                "retry_policy to recover()"
+            )
+        if scheduler is None:
+            scheduler = scheduler_by_name(meta["scheduler"])
+        if policy is None:
+            policy = (
+                policy_by_name(meta["policy"])
+                if meta.get("policy")
+                else FIFO
+            )
+        supervisor = (
+            Supervisor.from_dict(meta["supervisor"])
+            if meta.get("supervisor")
+            else None
+        )
+        churn = (
+            ChurnSchedule.from_dict(meta["churn"])
+            if meta.get("churn")
+            else None
+        )
+
+        sim = cls.restore(
+            records[ckpt_idx].data,
+            scheduler,
+            policy=policy,
+            on_step=on_step,
+            capacity_schedule=capacity_schedule,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+            supervisor=supervisor,
+            churn=churn,
+        )
+        # Replay the steps journaled after the checkpoint, digest-checked.
+        # One step record == one _step() call (idle fast-forwards happen
+        # *inside* a step), so the mapping is exact.
+        for rec in records[ckpt_idx + 1 :]:
+            if rec.type != "step":
+                continue
+            target_t = int(rec.data["t"])
+            if not sim._unfinished():
+                raise JournalError(
+                    f"journal has a step record for t={target_t} but the "
+                    "restored run is already finished — journal and "
+                    "checkpoint disagree"
+                )
+            sim._step()
+            if sim._state.t != target_t or sim.digest() != int(
+                rec.data["digest"]
+            ):
+                raise JournalError(
+                    f"replay diverged at step {target_t}: recovered "
+                    "state does not reproduce the journaled digest "
+                    "(journal and run inputs disagree)"
+                )
+        sim._journal = Journal(
+            journal_path,
+            checkpoint_every=int(meta.get("checkpoint_every", 25)),
+            fsync=fsync,
+            start_seq=records[-1].seq,
+        )
+        sim._journal_started = True
         return sim
 
 
@@ -707,6 +1211,9 @@ def simulate(
     capacity_schedule=None,
     fault_model=None,
     retry_policy=None,
+    supervisor: Supervisor | None = None,
+    churn: ChurnSchedule | None = None,
+    journal=None,
     max_stall_steps: int = 1000,
 ) -> SimulationResult:
     """One-call convenience: run ``jobset`` under ``scheduler``.
@@ -728,5 +1235,8 @@ def simulate(
         capacity_schedule=capacity_schedule,
         fault_model=fault_model,
         retry_policy=retry_policy,
+        supervisor=supervisor,
+        churn=churn,
+        journal=journal,
         max_stall_steps=max_stall_steps,
     ).run()

@@ -1,0 +1,215 @@
+"""Crash-safe write-ahead trace journaling.
+
+A :class:`Journal` is an append-only JSONL file that makes a long
+simulation survivable: every record is framed with a sequence number and a
+CRC32 over its canonical payload, each write is flushed and fsync'd, and
+readers stop at the first record that fails framing — a torn tail from a
+mid-write crash is *detected and truncated*, never silently parsed.
+
+Record stream of one run::
+
+    meta        run header: scheduler name, machine, feature flags,
+                churn events and supervisor spec (both plain data)
+    checkpoint  full Simulator.checkpoint() payload (at start, then every
+                ``checkpoint_every`` steps)
+    step        per-step delta: {"t": ..., "digest": ...} where the digest
+                is a CRC of the engine's post-step state
+    end         final digest + makespan (a journal without one is a crash)
+
+Recovery (:meth:`repro.sim.engine.Simulator.recover`) replays the journal:
+restore the last intact checkpoint, re-execute forward comparing each
+step's digest against the journaled one (divergence raises
+:class:`~repro.errors.JournalError` — the run is *verified* bit-for-bit,
+not assumed), truncate any torn tail, and keep appending to the same file
+so a resumed run leaves one continuous journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Iterator
+
+from repro.errors import JournalError
+
+__all__ = ["Journal", "JournalRecord", "read_journal", "state_digest"]
+
+JOURNAL_VERSION = 1
+
+
+def _frame_crc(seq: int, rtype: str, data: Any) -> int:
+    payload = json.dumps(
+        [seq, rtype, data], sort_keys=True, separators=(",", ":")
+    )
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+class JournalRecord:
+    """One parsed journal record (``seq``, ``type``, ``data``)."""
+
+    __slots__ = ("seq", "type", "data")
+
+    def __init__(self, seq: int, rtype: str, data: Any) -> None:
+        self.seq = seq
+        self.type = rtype
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JournalRecord(seq={self.seq}, type={self.type!r})"
+
+
+class Journal:
+    """Append-only, CRC-framed, fsync'd JSONL journal writer.
+
+    Parameters
+    ----------
+    path:
+        Journal file.  Created on first append; reopened in append mode
+        when resuming (see ``start_seq``).
+    checkpoint_every:
+        The engine writes a full checkpoint record every this many steps
+        (>= 1).  Smaller values bound replay work after a crash at the
+        cost of journal size.
+    fsync:
+        Fsync after every record (default).  Disable only for runs whose
+        journal is merely diagnostic — a non-fsync'd journal can lose an
+        arbitrary suffix on power failure.
+    start_seq:
+        Sequence number of the last already-present record (resume).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        checkpoint_every: int = 25,
+        fsync: bool = True,
+        start_seq: int = 0,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise JournalError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.path = str(path)
+        self.checkpoint_every = int(checkpoint_every)
+        self._fsync = bool(fsync)
+        self._seq = int(start_seq)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def append(self, rtype: str, data: Any) -> int:
+        """Write one framed record; returns its sequence number."""
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+        self._seq += 1
+        record = {
+            "seq": self._seq,
+            "type": rtype,
+            "crc": _frame_crc(self._seq, rtype, data),
+            "data": data,
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self._fh.write(line.encode("utf-8"))
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        return self._seq
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":  # pragma: no cover - convenience
+        return self
+
+    def __exit__(self, *exc) -> None:  # pragma: no cover - convenience
+        self.close()
+
+
+def _parse_line(line: bytes, expected_seq: int) -> JournalRecord | None:
+    """One framed record, or None if the line fails any framing check."""
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    try:
+        seq = int(doc["seq"])
+        rtype = str(doc["type"])
+        crc = int(doc["crc"])
+        data = doc["data"]
+    except (KeyError, TypeError, ValueError):
+        return None
+    if seq != expected_seq or crc != _frame_crc(seq, rtype, data):
+        return None
+    return JournalRecord(seq, rtype, data)
+
+
+def read_journal(
+    path: str, *, truncate: bool = False
+) -> tuple[list[JournalRecord], int, bool]:
+    """Read the valid prefix of a journal.
+
+    Returns ``(records, valid_bytes, clean)``: every record up to (not
+    including) the first framing failure, the byte length of that valid
+    prefix, and whether the file ended cleanly (no torn/corrupt tail).
+    With ``truncate=True`` a torn tail is physically cut off, leaving the
+    file ready for appending.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path!r}: {exc}") from exc
+
+    records: list[JournalRecord] = []
+    valid_bytes = 0
+    clean = True
+    pos = 0
+    while pos < len(raw):
+        nl = raw.find(b"\n", pos)
+        if nl < 0:  # torn final record: no newline made it to disk
+            clean = False
+            break
+        rec = _parse_line(raw[pos:nl], expected_seq=len(records) + 1)
+        if rec is None:  # corrupt frame: stop, everything after is junk
+            clean = False
+            break
+        records.append(rec)
+        pos = nl + 1
+        valid_bytes = pos
+    if not clean and truncate:
+        with open(path, "r+b") as fh:
+            fh.truncate(valid_bytes)
+    return records, valid_bytes, clean
+
+
+def iter_records(
+    records: list[JournalRecord], rtype: str
+) -> Iterator[JournalRecord]:
+    """The subset of ``records`` with the given type, in order."""
+    return (r for r in records if r.type == rtype)
+
+
+def state_digest(payload: Any) -> int:
+    """CRC32 of the canonical JSON encoding of ``payload``.
+
+    Used both for per-step engine digests and for spot-checking payload
+    equality in diagnostics; ``json.dumps(sort_keys=True)`` makes it
+    independent of dict insertion order and ``PYTHONHASHSEED``.
+    """
+    return (
+        zlib.crc32(
+            json.dumps(
+                payload, sort_keys=True, separators=(",", ":"), default=int
+            ).encode("utf-8")
+        )
+        & 0xFFFFFFFF
+    )

@@ -48,6 +48,11 @@ class SimulationResult:
     retries: dict[int, int] = field(default_factory=dict)
     #: jobs permanently lost (killed with retry attempts exhausted)
     failed_jobs: tuple[int, ...] = ()
+    #: structured invariant incidents absorbed by a resilient supervisor
+    #: (:class:`~repro.sim.supervisor.Incident`), in occurrence order
+    incidents: tuple = ()
+    #: jobs the supervisor pulled from the run (quarantined, not completed)
+    quarantined_jobs: tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -143,6 +148,13 @@ class SimulationResult:
             )
         if self.failed_jobs:
             line += f" failed_jobs={len(self.failed_jobs)}"
+        if self.quarantined_jobs:
+            line += (
+                f" quarantined={len(self.quarantined_jobs)} "
+                f"incidents={len(self.incidents)}"
+            )
+        elif self.incidents:
+            line += f" incidents={len(self.incidents)}"
         return line
 
     def __post_init__(self) -> None:
@@ -161,6 +173,12 @@ class SimulationResult:
             raise SimulationError(
                 f"jobs {sorted(overlap)} both completed and permanently "
                 "failed"
+            )
+        overlap = set(self.quarantined_jobs) & set(self.completion_times)
+        if overlap:
+            raise SimulationError(
+                f"jobs {sorted(overlap)} both completed and were "
+                "quarantined"
             )
         if self.wasted is not None and (
             self.wasted_work_vector() > np.asarray(self.busy)

@@ -1,0 +1,511 @@
+"""Supervised execution: runtime invariant monitors.
+
+The engine proves scheduler output against the Section-2 constraints every
+step (``check_allotments``); the supervisor goes further and watches the
+*behavioural* invariants the theorems rest on, while the run is live:
+
+* **feasibility** — allotments within desires and within the effective
+  (possibly churned/degraded) per-category capacities;
+* **work conservation** — a category never leaves processors idle while
+  some job's desire for it is unmet (the premise of Lemma 2's accounting);
+* **RAD batching** (Lemma 4's squashed-sum argument) — once a category has
+  at least ``P_alpha(t)`` active jobs the category is saturated, and while
+  a round-robin cycle is open every allotment in it is a single processor;
+* **checkpoint determinism** — periodically snapshots the run twice and
+  requires bit-identical payloads, so a checkpoint written to the journal
+  is guaranteed to be a pure function of state.
+
+A :class:`Supervisor` bundles monitors with a failure *mode*:
+
+* ``strict`` — any violation raises
+  :class:`~repro.errors.InvariantViolation` naming the step, monitor,
+  job and category: the run is wrong, stop it;
+* ``resilient`` — the violation becomes a structured
+  :class:`Incident`; if it is attributable to one job, that job is
+  **quarantined** (removed from the live set, reported in
+  ``SimulationResult.quarantined_jobs``) and the run degrades gracefully.
+  Quarantined jobs leave the live set entirely, so stall accounting stays
+  honest — a run whose remaining jobs are all quarantined terminates
+  instead of stalling.
+
+Monitors see a read-only :class:`StepView` of the step the engine just
+executed.  They must not mutate anything.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import InvariantViolation, SimulationError
+
+__all__ = [
+    "StepView",
+    "Violation",
+    "Incident",
+    "Monitor",
+    "FeasibilityMonitor",
+    "WorkConservationMonitor",
+    "RadBatchingMonitor",
+    "CheckpointDeterminismMonitor",
+    "ScriptedViolation",
+    "Supervisor",
+    "default_monitors",
+]
+
+
+@dataclass(frozen=True)
+class StepView:
+    """Read-only snapshot of one executed step, handed to monitors.
+
+    ``capacities`` are the *effective* per-category counts of this step
+    (after churn/degradation), which is what feasibility means at runtime;
+    the nominal machine is available via ``nominal_capacities``.
+    ``checkpoint`` is a zero-argument callable returning the simulator's
+    checkpoint payload (``None`` when checkpointing is unavailable).
+    """
+
+    t: int
+    capacities: tuple[int, ...]
+    nominal_capacities: tuple[int, ...]
+    desires: Mapping[int, Any]
+    allotments: Mapping[int, Any]
+    executed: Mapping[int, list[list[int]]]
+    scheduler: Any
+    checkpoint: Callable[[], dict] | None = None
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, as reported by a monitor."""
+
+    monitor: str
+    message: str
+    job_id: int | None = None
+    category: int | None = None
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A violation the supervisor absorbed in ``resilient`` mode.
+
+    ``action`` records what the engine did: ``"quarantined"`` (the
+    offending job was pulled from the live set) or ``"logged"`` (not
+    attributable to a single job; the run continues unchanged).
+    """
+
+    step: int
+    monitor: str
+    message: str
+    job_id: int | None = None
+    category: int | None = None
+    action: str = "logged"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "step": self.step,
+            "monitor": self.monitor,
+            "message": self.message,
+            "job_id": self.job_id,
+            "category": self.category,
+            "action": self.action,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Incident":
+        return cls(
+            step=int(data["step"]),
+            monitor=str(data["monitor"]),
+            message=str(data["message"]),
+            job_id=(
+                None if data.get("job_id") is None else int(data["job_id"])
+            ),
+            category=(
+                None
+                if data.get("category") is None
+                else int(data["category"])
+            ),
+            action=str(data.get("action", "logged")),
+        )
+
+
+class Monitor:
+    """Base class for pluggable runtime invariant monitors.
+
+    Subclasses set :attr:`name`, implement :meth:`check` and describe
+    their configuration in :meth:`spec` so a supervisor can be rebuilt
+    from journal metadata (:func:`monitor_from_spec`).
+    """
+
+    name: str = "abstract"
+
+    def check(self, view: StepView) -> list[Violation]:
+        """Return every invariant breach visible in ``view`` (or [])."""
+        raise NotImplementedError
+
+    def spec(self) -> dict[str, Any]:
+        """Serialisable ``{"kind": ..., **params}`` descriptor."""
+        return {"kind": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _alloc_list(vec, k: int) -> list[int]:
+    lst = vec.tolist() if hasattr(vec, "tolist") else list(vec)
+    return [int(v) for v in lst] if len(lst) == k else []
+
+
+class FeasibilityMonitor(Monitor):
+    """Allotment <= desire per job; category totals <= effective P_alpha."""
+
+    name = "feasibility"
+
+    def check(self, view: StepView) -> list[Violation]:
+        k = len(view.capacities)
+        out: list[Violation] = []
+        totals = [0] * k
+        top: list[tuple[int, int]] = [(-1, -1)] * k  # (alloc, jid) maxima
+        for jid, alloc in view.allotments.items():
+            a = _alloc_list(alloc, k)
+            if not a:
+                out.append(
+                    Violation(
+                        self.name,
+                        f"step {view.t}: job {jid} allotment has wrong "
+                        f"arity (expected K={k})",
+                        job_id=jid,
+                    )
+                )
+                continue
+            d = _alloc_list(view.desires.get(jid, ()), k) or [0] * k
+            for alpha in range(k):
+                if a[alpha] < 0 or a[alpha] > d[alpha]:
+                    out.append(
+                        Violation(
+                            self.name,
+                            f"step {view.t}: job {jid} category {alpha} "
+                            f"allotment {a[alpha]} outside [0, desire "
+                            f"{d[alpha]}]",
+                            job_id=jid,
+                            category=alpha,
+                        )
+                    )
+                totals[alpha] += a[alpha]
+                if a[alpha] > top[alpha][0]:
+                    top[alpha] = (a[alpha], jid)
+        for alpha in range(k):
+            if totals[alpha] > view.capacities[alpha]:
+                # Blame the largest allotment in the over-full category —
+                # quarantining it restores feasibility fastest.
+                out.append(
+                    Violation(
+                        self.name,
+                        f"step {view.t}: category {alpha} total allotment "
+                        f"{totals[alpha]} exceeds effective capacity "
+                        f"{view.capacities[alpha]}",
+                        job_id=top[alpha][1] if top[alpha][1] >= 0 else None,
+                        category=alpha,
+                    )
+                )
+        return out
+
+
+class WorkConservationMonitor(Monitor):
+    """No idle alpha-processor while some job's alpha-desire is unmet."""
+
+    name = "work-conservation"
+
+    def check(self, view: StepView) -> list[Violation]:
+        k = len(view.capacities)
+        out: list[Violation] = []
+        totals = [0] * k
+        for alloc in view.allotments.values():
+            for alpha, a in enumerate(_alloc_list(alloc, k)):
+                totals[alpha] += a
+        for alpha in range(k):
+            spare = view.capacities[alpha] - totals[alpha]
+            if spare <= 0:
+                continue
+            for jid, d in view.desires.items():
+                desire = _alloc_list(d, k)
+                got = _alloc_list(
+                    view.allotments.get(jid, [0] * k), k
+                )
+                if desire[alpha] > got[alpha]:
+                    out.append(
+                        Violation(
+                            self.name,
+                            f"step {view.t}: category {alpha} left "
+                            f"{spare} processor(s) idle while job {jid} "
+                            f"desired {desire[alpha]} and got "
+                            f"{got[alpha]}",
+                            job_id=jid,
+                            category=alpha,
+                        )
+                    )
+                    break  # one starved witness per category suffices
+        return out
+
+
+class RadBatchingMonitor(Monitor):
+    """Lemma-4 invariants of the RAD DEQ/RR state machine.
+
+    Applies only when the run's scheduler exposes per-category RAD state
+    (``category_state``); silently inert otherwise.  Two checks:
+
+    * **saturation** — with at least ``P_alpha(t)`` alpha-active jobs,
+      the category allots exactly ``P_alpha(t)`` processors (the squashed
+      sum accounts every processor-step);
+    * **unit batching** — while a round-robin cycle is open after the
+      step, every allotment the category granted is at most one
+      processor (cycles serve batches of single processors).
+    """
+
+    name = "rad-batching"
+
+    def check(self, view: StepView) -> list[Violation]:
+        get_state = getattr(view.scheduler, "category_state", None)
+        if get_state is None:
+            return []
+        k = len(view.capacities)
+        out: list[Violation] = []
+        for alpha in range(k):
+            cap = view.capacities[alpha]
+            if cap <= 0:
+                continue
+            active = [
+                jid
+                for jid, d in view.desires.items()
+                if _alloc_list(d, k)[alpha] > 0
+            ]
+            allocs = {
+                jid: _alloc_list(a, k)[alpha]
+                for jid, a in view.allotments.items()
+            }
+            total = sum(allocs.values())
+            if len(active) >= cap and total != cap:
+                out.append(
+                    Violation(
+                        self.name,
+                        f"step {view.t}: category {alpha} has "
+                        f"{len(active)} active jobs >= P={cap} but allots "
+                        f"{total} (squashed-sum saturation violated)",
+                        category=alpha,
+                    )
+                )
+            try:
+                in_cycle = get_state(alpha).in_rr_cycle()
+            except Exception:
+                continue
+            if in_cycle:
+                for jid, a in allocs.items():
+                    if a > 1:
+                        out.append(
+                            Violation(
+                                self.name,
+                                f"step {view.t}: category {alpha} is "
+                                f"mid round-robin cycle but job {jid} "
+                                f"got {a} > 1 processors",
+                                job_id=jid,
+                                category=alpha,
+                            )
+                        )
+        return out
+
+
+class CheckpointDeterminismMonitor(Monitor):
+    """Every ``period`` steps, checkpoint twice and require identity.
+
+    A checkpoint that is not a pure function of run state cannot give
+    bit-for-bit recovery; this catches e.g. set-ordering leaks before a
+    corrupt snapshot reaches the journal.
+    """
+
+    name = "checkpoint-determinism"
+
+    def __init__(self, period: int = 50) -> None:
+        if period < 1:
+            raise SimulationError(
+                f"checkpoint determinism period must be >= 1, got {period}"
+            )
+        self.period = int(period)
+
+    def spec(self) -> dict[str, Any]:
+        return {"kind": self.name, "period": self.period}
+
+    def check(self, view: StepView) -> list[Violation]:
+        if view.checkpoint is None or view.t % self.period != 0:
+            return []
+        first = json.dumps(view.checkpoint(), sort_keys=True)
+        second = json.dumps(view.checkpoint(), sort_keys=True)
+        if first != second:
+            return [
+                Violation(
+                    self.name,
+                    f"step {view.t}: two consecutive checkpoints of the "
+                    f"same state differ (crc "
+                    f"{zlib.crc32(first.encode()):08x} vs "
+                    f"{zlib.crc32(second.encode()):08x}) — snapshot is "
+                    "not deterministic",
+                )
+            ]
+        return []
+
+
+class ScriptedViolation(Monitor):
+    """Fire a synthetic violation for ``job_id`` at ``step``.
+
+    The deterministic fault for supervision drills: chaos tests and the
+    ``krad supervise --inject-violation`` flag use it to prove the
+    quarantine path end to end without corrupting a real scheduler.
+    """
+
+    name = "scripted-violation"
+
+    def __init__(self, step: int, job_id: int, category: int = 0) -> None:
+        if step < 1:
+            raise SimulationError(
+                f"scripted violation step must be >= 1, got {step}"
+            )
+        self.step = int(step)
+        self.job_id = int(job_id)
+        self.category = int(category)
+
+    def spec(self) -> dict[str, Any]:
+        return {
+            "kind": self.name,
+            "step": self.step,
+            "job_id": self.job_id,
+            "category": self.category,
+        }
+
+    def check(self, view: StepView) -> list[Violation]:
+        if view.t != self.step or self.job_id not in view.desires:
+            return []
+        return [
+            Violation(
+                self.name,
+                f"step {view.t}: injected violation for job "
+                f"{self.job_id} (drill)",
+                job_id=self.job_id,
+                category=self.category,
+            )
+        ]
+
+
+def default_monitors() -> list[Monitor]:
+    """The always-on invariant set: feasibility, work conservation, RAD
+    batching."""
+    return [
+        FeasibilityMonitor(),
+        WorkConservationMonitor(),
+        RadBatchingMonitor(),
+    ]
+
+
+_MONITOR_KINDS: dict[str, Callable[..., Monitor]] = {
+    FeasibilityMonitor.name: FeasibilityMonitor,
+    WorkConservationMonitor.name: WorkConservationMonitor,
+    RadBatchingMonitor.name: RadBatchingMonitor,
+    CheckpointDeterminismMonitor.name: CheckpointDeterminismMonitor,
+    ScriptedViolation.name: ScriptedViolation,
+}
+
+
+def monitor_from_spec(spec: Mapping[str, Any]) -> Monitor:
+    """Rebuild a monitor from its :meth:`Monitor.spec` descriptor."""
+    kind = spec.get("kind")
+    if kind not in _MONITOR_KINDS:
+        raise SimulationError(f"unknown monitor kind {kind!r}")
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    return _MONITOR_KINDS[kind](**params)
+
+
+class Supervisor:
+    """Bundle of monitors plus the strict/resilient failure policy.
+
+    The supervisor itself is stateless across steps — incidents live in
+    the engine's (checkpointable) run state — so one instance may be
+    reused across runs and survives :meth:`Simulator.recover` via its
+    :meth:`to_dict` descriptor in journal metadata.
+    """
+
+    MODES = ("strict", "resilient")
+
+    def __init__(
+        self,
+        monitors: list[Monitor] | None = None,
+        *,
+        mode: str = "resilient",
+    ) -> None:
+        if mode not in self.MODES:
+            raise SimulationError(
+                f"supervisor mode must be one of {self.MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self.monitors = (
+            default_monitors() if monitors is None else list(monitors)
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, view: StepView) -> list[Violation]:
+        """Evaluate every monitor against one executed step.
+
+        In ``strict`` mode the first violation raises
+        :class:`InvariantViolation`; in ``resilient`` mode all violations
+        are returned for the engine to quarantine/log.
+        """
+        violations: list[Violation] = []
+        for monitor in self.monitors:
+            violations.extend(monitor.check(view))
+        if violations and self.mode == "strict":
+            v = violations[0]
+            raise InvariantViolation(
+                f"invariant {v.monitor!r} violated at step {view.t}"
+                + (f" by job {v.job_id}" if v.job_id is not None else "")
+                + (
+                    f" in category {v.category}"
+                    if v.category is not None
+                    else ""
+                )
+                + f": {v.message}",
+                step=view.t,
+                monitor=v.monitor,
+                job_id=v.job_id,
+                category=v.category,
+            )
+        return violations
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "supervisor",
+            "version": 1,
+            "mode": self.mode,
+            "monitors": [m.spec() for m in self.monitors],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Supervisor":
+        from repro.errors import SerializationError
+
+        if (
+            not isinstance(data, Mapping)
+            or data.get("format") != "supervisor"
+        ):
+            raise SerializationError("expected a supervisor document")
+        if data.get("version") != 1:
+            raise SerializationError(
+                f"unsupported supervisor version {data.get('version')!r}"
+            )
+        return cls(
+            [monitor_from_spec(s) for s in data["monitors"]],
+            mode=str(data["mode"]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(m.name for m in self.monitors)
+        return f"Supervisor(mode={self.mode!r}, monitors=[{names}])"

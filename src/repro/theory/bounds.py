@@ -18,6 +18,7 @@ from repro.theory.squashed import squashed_work_areas
 
 __all__ = [
     "makespan_lower_bound",
+    "time_expanded_lower_bound",
     "total_response_lower_bound",
     "mean_response_lower_bound",
     "lemma2_bound",
@@ -59,6 +60,38 @@ def makespan_lower_bound(jobset: JobSet, machine: KResourceMachine) -> float:
     caps = machine.capacity_vector()
     work_bound = float(np.max(work / caps))
     return max(float(span_bound), work_bound)
+
+
+def time_expanded_lower_bound(
+    jobset: JobSet, schedule, horizon: int
+) -> float:
+    """Earliest completion any schedule could reach on a time-varying machine.
+
+    ``schedule`` is any callable ``t -> capacities`` giving the *realized*
+    per-category processor counts at step ``t`` — a degradation
+    ``capacity_schedule``, an elastic :class:`~repro.machine.churn.ChurnSchedule`
+    (capacities may exceed nominal), or any other availability profile.
+
+    Necessary conditions on any valid schedule of the same run: by the
+    finish step ``T``, the machine has cumulatively offered at least
+    ``T1(J, alpha)`` processor-steps of every category, and ``T`` is at
+    least the release+span bound ``max_i (r_i + T_inf(Ji))``.  The
+    smallest ``T`` meeting both is therefore a sound lower bound for
+    *every* scheduler on this (job set, availability profile) pair —
+    the fault/churn-aware generalisation of :func:`makespan_lower_bound`,
+    to which it reduces when capacities are constant.
+    """
+    if horizon < 1:
+        raise ReproError(f"horizon must be >= 1, got {horizon}")
+    need = jobset.total_work_vector().astype(np.int64)
+    offered = np.zeros_like(need)
+    work_time = horizon  # fallback when the horizon is never enough
+    for t in range(1, horizon + 1):
+        offered += np.asarray(schedule(t), dtype=np.int64)
+        if (offered >= need).all():
+            work_time = t
+            break
+    return float(max(work_time, jobset.max_release_plus_span()))
 
 
 def lemma2_bound(jobset: JobSet, machine: KResourceMachine) -> float:

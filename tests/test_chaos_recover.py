@@ -1,0 +1,158 @@
+"""Chaos test: SIGKILL a journaled run mid-step, recover, compare traces.
+
+This is the acceptance test of the journaling subsystem.  A child process
+runs a journaled simulation and kills itself — ``SIGKILL``, no cleanup, no
+atexit, exactly like a power cut as far as user space can fake one — at a
+seeded step.  The parent recovers from the journal the child left behind
+and must finish with a trace bit-for-bit identical to an uninterrupted
+in-process reference run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+
+import repro
+from repro.io.trace_io import trace_to_dict
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.machine.churn import ChurnEvent, ChurnSchedule
+from repro.schedulers import KRad
+from repro.sim import Simulator, read_journal
+
+SEED = 20260805
+KILL_AT = 9
+
+_CHILD = """\
+import os, signal, sys
+sys.path.insert(0, {src!r})
+
+import numpy as np
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.machine.churn import ChurnEvent, ChurnSchedule
+from repro.schedulers import KRad
+from repro.sim import Journal, Simulator
+
+rng = np.random.default_rng({seed})
+js = workloads.random_dag_jobset(rng, 2, 8, size_hint=16)
+churn = ChurnSchedule(
+    (4, 2), [ChurnEvent(step=3, category=0, delta=-2, duration=4)]
+)
+
+def die(t, alive):
+    if t == {kill_at}:
+        os.kill(os.getpid(), signal.SIGKILL)  # no cleanup of any kind
+
+Simulator(
+    KResourceMachine((4, 2)),
+    KRad(),
+    js,
+    record_trace=True,
+    churn=churn,
+    on_step=die,
+    journal=Journal({journal!r}, checkpoint_every=4),
+).run()
+print("NOT REACHED")
+"""
+
+
+def _reference_result():
+    rng = np.random.default_rng(SEED)
+    js = workloads.random_dag_jobset(rng, 2, 8, size_hint=16)
+    churn = ChurnSchedule(
+        (4, 2), [ChurnEvent(step=3, category=0, delta=-2, duration=4)]
+    )
+    return Simulator(
+        KResourceMachine((4, 2)),
+        KRad(),
+        js,
+        record_trace=True,
+        churn=churn,
+    ).run()
+
+
+class TestKillAndRecover:
+    def test_sigkilled_run_recovers_bitwise_identical(self, tmp_path):
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        journal = str(tmp_path / "chaos.journal")
+        script = tmp_path / "child.py"
+        script.write_text(
+            _CHILD.format(
+                src=src, seed=SEED, kill_at=KILL_AT, journal=journal
+            )
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONHASHSEED": "0"},
+            timeout=120,
+        )
+        # the child must actually have died by SIGKILL, mid-run
+        assert proc.returncode == -signal.SIGKILL
+        assert "NOT REACHED" not in proc.stdout
+        assert os.path.exists(journal)
+
+        records, _, _ = read_journal(journal)
+        assert records[0].type == "meta"
+        assert not any(r.type == "end" for r in records)  # it *crashed*
+        steps = [r.data["t"] for r in records if r.type == "step"]
+        assert steps and steps[-1] < KILL_AT + 2  # died where scripted
+
+        ref = _reference_result()
+        recovered = Simulator.recover(journal).run()
+        assert recovered.makespan == ref.makespan
+        assert recovered.completion_times == ref.completion_times
+        assert recovered.busy.tolist() == ref.busy.tolist()
+        assert recovered.stall_steps == ref.stall_steps
+        # the acceptance bar: bit-for-bit identical final traces
+        assert trace_to_dict(recovered.trace) == trace_to_dict(ref.trace)
+        # and the stitched journal now records a completed run
+        records, _, clean = read_journal(journal)
+        assert clean
+        assert records[-1].type == "end"
+        assert records[-1].data["makespan"] == ref.makespan
+
+    def test_double_kill_still_recovers(self, tmp_path):
+        """Crash, recover in a child, crash again, recover in-process."""
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        journal = str(tmp_path / "chaos2.journal")
+        script = tmp_path / "child.py"
+        script.write_text(
+            _CHILD.format(
+                src=src, seed=SEED, kill_at=KILL_AT, journal=journal
+            )
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        resume = tmp_path / "resume.py"
+        resume.write_text(
+            "import os, signal, sys\n"
+            f"sys.path.insert(0, {src!r})\n"
+            "from repro.sim import Simulator\n"
+            "def die(t, alive):\n"
+            f"    if t == {KILL_AT + 4}:\n"
+            "        os.kill(os.getpid(), signal.SIGKILL)\n"
+            f"sim = Simulator.recover({journal!r}, on_step=die)\n"
+            "sim.run()\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(resume)],
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        ref = _reference_result()
+        recovered = Simulator.recover(journal).run()
+        assert recovered.makespan == ref.makespan
+        assert trace_to_dict(recovered.trace) == trace_to_dict(ref.trace)

@@ -9,7 +9,7 @@ times, same busy/wasted vectors, same trace, same retry ledger.
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SerializationError, SimulationError
 from repro.io.serialize import dump_checkpoint, load_checkpoint
 from repro.io.trace_io import trace_to_dict
 from repro.jobs import workloads
@@ -257,7 +257,31 @@ class TestGuards:
         sim.run_until(1)
         snap = sim.checkpoint()
         snap["version"] = 999
-        with pytest.raises(SimulationError, match="version"):
+        with pytest.raises(SerializationError, match="version"):
+            Simulator.restore(snap, scheduler=KRad())
+
+    def test_bad_format_rejected(self, rng):
+        with pytest.raises(SerializationError, match="checkpoint"):
+            Simulator.restore({"format": "jobset"}, scheduler=KRad())
+
+    def test_missing_section_rejected(self, rng):
+        machine = KResourceMachine((2,))
+        js = workloads.random_dag_jobset(rng, 1, 2, size_hint=6)
+        sim = Simulator(machine, KRad(), js.fresh_copy())
+        sim.run_until(1)
+        snap = sim.checkpoint()
+        del snap["rng"]
+        with pytest.raises(SerializationError, match="rng"):
+            Simulator.restore(snap, scheduler=KRad())
+
+    def test_missing_engine_key_rejected(self, rng):
+        machine = KResourceMachine((2,))
+        js = workloads.random_dag_jobset(rng, 1, 2, size_hint=6)
+        sim = Simulator(machine, KRad(), js.fresh_copy())
+        sim.run_until(1)
+        snap = sim.checkpoint()
+        del snap["engine"]["stall_run"]
+        with pytest.raises(SerializationError, match="stall_run"):
             Simulator.restore(snap, scheduler=KRad())
 
     def test_rerun_guard_still_fires(self, rng):

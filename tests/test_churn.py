@@ -1,0 +1,328 @@
+"""Elastic processor churn: events, schedules, and scheduler migration.
+
+Churn differs from the fault-injection capacity schedules in one crucial
+way: it may *grow* a category past the nominal machine.  These tests pin
+the event/schedule semantics, the engine integration (rebinds, boundary
+notifications, envelope-sized traces), the forced RAD DEQ<->RR state
+migrations, and the time-expanded-LB certificate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError, SimulationError
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.machine.churn import ChurnEvent, ChurnSchedule
+from repro.schedulers import KRad
+from repro.sim import Simulator, simulate, validate_schedule
+from repro.sim.faults import periodic_outage
+from repro.theory import bounds
+
+
+class TestChurnEvent:
+    def test_permanent_event_active_forever(self):
+        ev = ChurnEvent(step=3, category=0, delta=-2)
+        assert not ev.active_at(1)
+        assert not ev.active_at(2)
+        assert ev.active_at(3)
+        assert ev.active_at(10_000)
+
+    def test_transient_event_window(self):
+        ev = ChurnEvent(step=3, category=1, delta=2, duration=4)
+        assert not ev.active_at(2)
+        assert ev.active_at(3)
+        assert ev.active_at(6)  # live for exactly `duration` steps
+        assert not ev.active_at(7)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ChurnEvent(step=0, category=0, delta=1)
+        with pytest.raises(SimulationError):
+            ChurnEvent(step=1, category=0, delta=0)
+        with pytest.raises(SimulationError):
+            ChurnEvent(step=1, category=0, delta=1, duration=0)
+
+    def test_dict_round_trip(self):
+        ev = ChurnEvent(step=5, category=1, delta=-3, duration=2)
+        assert ChurnEvent.from_dict(ev.to_dict()) == ev
+        perm = ChurnEvent(step=2, category=0, delta=4)
+        assert ChurnEvent.from_dict(perm.to_dict()) == perm
+
+
+class TestChurnSchedule:
+    def test_capacities_sum_active_deltas(self):
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=2, category=0, delta=-1, duration=3),
+                ChurnEvent(step=3, category=0, delta=-1),
+                ChurnEvent(step=3, category=1, delta=2),
+            ],
+        )
+        assert churn.capacities(1) == (4, 2)
+        assert churn.capacities(2) == (3, 2)
+        assert churn.capacities(3) == (2, 4)
+        assert churn.capacities(5) == (3, 4)  # transient reverted
+
+    def test_growth_past_nominal(self):
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=2, category=0, delta=8)]
+        )
+        assert churn.capacities(2) == (12, 2)
+        assert churn.peak_capacities() == (12, 2)
+
+    def test_removals_clamp_at_zero(self):
+        churn = ChurnSchedule(
+            (2,), [ChurnEvent(step=1, category=0, delta=-5)]
+        )
+        assert churn.capacities(1) == (0,)
+
+    def test_breakpoints(self):
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=3, category=0, delta=-1, duration=4),
+                ChurnEvent(step=5, category=1, delta=1),
+            ],
+        )
+        assert churn.breakpoints() == (1, 3, 5, 7)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ChurnSchedule((0,), [])
+        with pytest.raises(SimulationError):
+            ChurnSchedule((4,), [ChurnEvent(step=1, category=1, delta=1)])
+        with pytest.raises(SimulationError):
+            ChurnSchedule((4,), ["not an event"])
+
+    def test_dict_round_trip(self):
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=2, category=0, delta=-2, duration=3),
+                ChurnEvent(step=4, category=1, delta=5),
+            ],
+        )
+        clone = ChurnSchedule.from_dict(churn.to_dict())
+        assert clone.nominal == churn.nominal
+        assert clone.events == churn.events
+        for t in range(1, 12):
+            assert clone.capacities(t) == churn.capacities(t)
+
+    def test_from_dict_rejects_bad_documents(self):
+        with pytest.raises(SerializationError):
+            ChurnSchedule.from_dict({"format": "jobset"})
+        good = ChurnSchedule((4,), []).to_dict()
+        good["version"] = 99
+        with pytest.raises(SerializationError):
+            ChurnSchedule.from_dict(good)
+
+
+class TestEngineUnderChurn:
+    def test_shrink_slows_but_completes(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 8, size_hint=20)
+        healthy = simulate(machine2, KRad(), js)
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=3, category=0, delta=-3)]
+        )
+        churned = simulate(machine2, KRad(), js, churn=churn)
+        assert set(churned.completion_times) == set(
+            healthy.completion_times
+        )
+        assert churned.makespan >= healthy.makespan
+
+    def test_growth_never_hurts(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 10, size_hint=20)
+        healthy = simulate(machine2, KRad(), js)
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=2, category=0, delta=4),
+                ChurnEvent(step=2, category=1, delta=2),
+            ],
+        )
+        grown = simulate(machine2, KRad(), js, churn=churn)
+        assert grown.makespan <= healthy.makespan
+        assert len(grown.completion_times) == len(js)
+
+    def test_trace_sized_to_peak_envelope(self, rng, machine2):
+        """Growth past nominal must fit in the recorded trace."""
+        js = workloads.random_dag_jobset(rng, 2, 8, size_hint=20)
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=2, category=0, delta=6)]
+        )
+        r = simulate(machine2, KRad(), js, churn=churn, record_trace=True)
+        assert r.trace.capacities == churn.peak_capacities()
+        validate_schedule(r.trace, js)
+
+    def test_transient_blackout_stalls_then_recovers(self, rng):
+        machine = KResourceMachine((4,))
+        js = workloads.random_dag_jobset(rng, 1, 4, size_hint=12)
+        churn = ChurnSchedule(
+            (4,), [ChurnEvent(step=2, category=0, delta=-4, duration=3)]
+        )
+        r = simulate(machine, KRad(), js, churn=churn)
+        assert len(r.completion_times) == len(js)
+        assert r.stall_steps > 0
+
+    def test_churned_run_is_deterministic(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 8, size_hint=20)
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=2, category=0, delta=-2, duration=2),
+                ChurnEvent(step=5, category=1, delta=3),
+            ],
+        )
+        r1 = simulate(machine2, KRad(), js, churn=churn)
+        r2 = simulate(machine2, KRad(), js, churn=churn)
+        assert r1.makespan == r2.makespan
+        assert r1.completion_times == r2.completion_times
+
+    def test_churn_excludes_capacity_schedule(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 4)
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=2, category=0, delta=-1)]
+        )
+        cap = periodic_outage((4, 2), category=0, period=5, duration=2)
+        with pytest.raises(SimulationError, match="mutually exclusive"):
+            Simulator(
+                machine2,
+                KRad(),
+                js.fresh_copy(),
+                churn=churn,
+                capacity_schedule=cap,
+            )
+
+    def test_churn_nominal_must_match_machine(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 4)
+        churn = ChurnSchedule(
+            (8, 4), [ChurnEvent(step=2, category=0, delta=-1)]
+        )
+        with pytest.raises(SimulationError, match="nominal"):
+            Simulator(machine2, KRad(), js.fresh_copy(), churn=churn)
+
+
+class TestRadMigration:
+    """Forced DEQ<->RR migrations across churn boundaries."""
+
+    def _totals(self, sched):
+        out = {}
+        for cat in sched.churn_transitions():
+            for kind, n in cat.items():
+                out[kind] = out.get(kind, 0) + n
+        return out
+
+    def test_shrink_below_active_forces_rr(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 12, size_hint=20)
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=3, category=0, delta=-3)]
+        )
+        sched = KRad()
+        r = Simulator(
+            machine2, sched, js.fresh_copy(), churn=churn
+        ).run()
+        totals = self._totals(sched)
+        assert len(r.completion_times) == len(js)
+        assert totals["deq_to_rr"] >= 1
+        assert totals["rebatch"] >= 1
+
+    def test_growth_absorbs_open_cycle(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 12, size_hint=20)
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=3, category=0, delta=8)]
+        )
+        sched = KRad()
+        r = Simulator(
+            machine2, sched, js.fresh_copy(), churn=churn
+        ).run()
+        totals = self._totals(sched)
+        assert len(r.completion_times) == len(js)
+        assert totals["absorb"] >= 1
+        assert totals["rr_to_deq"] >= 1
+
+    def test_no_churn_no_migrations(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 12, size_hint=20)
+        sched = KRad()
+        Simulator(
+            machine2,
+            sched,
+            js.fresh_copy(),
+            churn=ChurnSchedule((4, 2), []),
+        ).run()
+        totals = self._totals(sched)
+        assert totals["rebatch"] == 0
+        assert totals["absorb"] == 0
+
+
+class TestChurnCertificate:
+    def test_time_expanded_lb_certifies_churned_makespan(
+        self, rng, machine2
+    ):
+        js = workloads.random_dag_jobset(rng, 2, 10, size_hint=20)
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=3, category=0, delta=-3, duration=5),
+                ChurnEvent(step=4, category=1, delta=2),
+            ],
+        )
+        r = simulate(machine2, KRad(), js, churn=churn)
+        ratio = bounds.theorem3_ratio(2, max(churn.peak_capacities()))
+        lb = bounds.time_expanded_lower_bound(
+            js, churn.capacities, horizon=2 * r.makespan + 10
+        )
+        assert lb >= 1
+        assert r.makespan <= ratio * lb + 1e-9
+
+    def test_constant_profile_reduces_to_plain_bound(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 8, size_hint=20)
+        lb_plain = bounds.makespan_lower_bound(js, machine2)
+        lb_time = bounds.time_expanded_lower_bound(
+            js, lambda t: (4, 2), horizon=10_000
+        )
+        assert lb_time == pytest.approx(np.ceil(lb_plain), abs=1.0)
+        assert lb_time >= lb_plain - 1e-9
+
+
+class TestChurnCheckpoint:
+    def test_resume_mid_churn_identical(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 8, size_hint=20)
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=2, category=0, delta=-2, duration=4),
+                ChurnEvent(step=6, category=1, delta=3),
+            ],
+        )
+
+        def make_sim():
+            return Simulator(
+                machine2,
+                KRad(),
+                js.fresh_copy(),
+                churn=churn,
+                record_trace=True,
+            )
+
+        ref = make_sim().run()
+        sim = make_sim()
+        assert sim.run_until(4) is None
+        snap = sim.checkpoint()
+        resumed = Simulator.restore(
+            snap, KRad(), churn=churn
+        ).run()
+        assert resumed.makespan == ref.makespan
+        assert resumed.completion_times == ref.completion_times
+
+    def test_churn_presence_must_match_on_restore(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=12)
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=2, category=0, delta=-1)]
+        )
+        sim = Simulator(machine2, KRad(), js.fresh_copy(), churn=churn)
+        assert sim.run_until(3) is None
+        snap = sim.checkpoint()
+        with pytest.raises(SimulationError, match="churn"):
+            Simulator.restore(snap, KRad())

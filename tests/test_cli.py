@@ -171,3 +171,200 @@ class TestFaultsSubcommand:
     def test_bad_rate_rejected(self, capsys):
         assert main(["faults", "--task-fail-rate", "1.5"]) == 2
         assert "task failure rate" in capsys.readouterr().err
+
+    def test_conflicting_fault_modes_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--outage",
+                    "10:4",
+                    "--availability",
+                    "0.8",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
+        assert err.count("\n") == 1  # one-line message, no traceback
+        assert "Traceback" not in err
+
+    def test_out_into_missing_dir_rejected(self, capsys, tmp_path):
+        target = str(tmp_path / "no" / "such" / "dir" / "metrics.txt")
+        assert (
+            main(["faults", "--jobs", "3", "--seed", "1", "--out", target])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "cannot write" in err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_out_appends_table(self, capsys, tmp_path):
+        target = str(tmp_path / "metrics.txt")
+        assert (
+            main(["faults", "--jobs", "3", "--seed", "1", "--out", target])
+            == 0
+        )
+        assert "fault probe" in open(target).read()
+
+
+class TestSuperviseSubcommand:
+    def test_clean_supervised_run(self, capsys):
+        assert main(["supervise", "--jobs", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "incident" not in out
+
+    def test_churned_run_prints_migrations(self, capsys):
+        assert (
+            main(
+                [
+                    "supervise",
+                    "--jobs",
+                    "8",
+                    "--seed",
+                    "1",
+                    "--churn",
+                    "3:0:-3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "category 0 migrations" in out
+
+    def test_injected_violation_resilient_quarantines(self, capsys):
+        rc = main(
+            [
+                "supervise",
+                "--jobs",
+                "8",
+                "--seed",
+                "1",
+                "--inject-violation",
+                "2:3",
+            ]
+        )
+        assert rc == 1  # quarantined jobs => non-zero
+        out = capsys.readouterr().out
+        assert "quarantined=1" in out
+        assert "incident: step 2 [scripted-violation] quarantined" in out
+
+    def test_injected_violation_strict_fails_fast(self, capsys):
+        rc = main(
+            [
+                "supervise",
+                "--jobs",
+                "8",
+                "--seed",
+                "1",
+                "--mode",
+                "strict",
+                "--inject-violation",
+                "2:3",
+            ]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "scripted-violation" in err
+        assert "step 2" in err
+        assert "Traceback" not in err
+
+    def test_journal_written(self, capsys, tmp_path):
+        journal = str(tmp_path / "run.journal")
+        assert (
+            main(
+                [
+                    "supervise",
+                    "--jobs",
+                    "5",
+                    "--seed",
+                    "1",
+                    "--journal",
+                    journal,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"journal: {journal}" in out
+        from repro.sim import read_journal
+
+        records, _, clean = read_journal(journal)
+        assert clean
+        assert records[-1].type == "end"
+
+    def test_bad_churn_spec_rejected(self, capsys):
+        assert main(["supervise", "--churn", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "STEP:CAT:DELTA" in err
+        assert "Traceback" not in err
+
+    def test_bad_injection_spec_rejected(self, capsys):
+        assert main(["supervise", "--inject-violation", "7"]) == 2
+        assert "STEP:JOB" in capsys.readouterr().err
+
+
+class TestRecoverSubcommand:
+    def test_missing_journal_rejected(self, capsys, tmp_path):
+        assert main(["recover", str(tmp_path / "nope.journal")]) == 2
+        err = capsys.readouterr().err
+        assert "krad recover" in err
+        assert "Traceback" not in err
+
+    def test_completed_journal_rejected(self, capsys, tmp_path):
+        journal = str(tmp_path / "done.journal")
+        assert (
+            main(
+                [
+                    "supervise",
+                    "--jobs",
+                    "4",
+                    "--seed",
+                    "1",
+                    "--journal",
+                    journal,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["recover", journal]) == 2
+        assert "nothing to recover" in capsys.readouterr().err
+
+    def test_recovers_crashed_journal(self, capsys, tmp_path):
+        """Truncate a completed journal back to mid-run (drop the end
+        record and the tail of the steps) and recover it."""
+        import json
+
+        journal = str(tmp_path / "crashed.journal")
+        assert (
+            main(
+                [
+                    "supervise",
+                    "--jobs",
+                    "6",
+                    "--seed",
+                    "1",
+                    "--journal",
+                    journal,
+                    "--checkpoint-every",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        lines = open(journal, "rb").read().splitlines(keepends=True)
+        kept = [
+            ln
+            for ln in lines
+            if json.loads(ln)["type"] != "end"
+        ][:-3]
+        open(journal, "wb").write(b"".join(kept))
+        assert main(["recover", journal]) == 0
+        out = capsys.readouterr().out
+        assert f"recovered from {journal}" in out
+        assert "makespan" in out

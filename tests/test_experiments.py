@@ -63,7 +63,9 @@ class TestRegistry:
             "FIG1", "FIG3", "THM3", "THM5", "THM6", "LEM4", "K1", "BASE",
             "FAIR", "SHOP", "OPT", "ADAPT", "WKLD", "APPS", "SENS",
         }
-        extensions = {"RAND", "SPEED", "FEEDBACK", "ABLATE", "FAULT", "HUNT"}
+        extensions = {
+            "RAND", "SPEED", "FEEDBACK", "ABLATE", "FAULT", "CHURN", "HUNT",
+        }
         assert set(REGISTRY) == paper | extensions
 
     def test_run_experiment_case_insensitive(self):

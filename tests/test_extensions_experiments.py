@@ -57,6 +57,12 @@ class TestShopAndFaultDrivers:
         report = exp_faults.run(seed=1, repeats=1, n_jobs=6)
         assert report.passed, report.failing_checks()
 
+    def test_churn_small(self):
+        from repro.experiments import exp_churn
+
+        report = exp_churn.run(seed=1, repeats=1)
+        assert report.passed, report.failing_checks()
+
 
 class TestOptDriver:
     def test_opt_small(self):

@@ -326,3 +326,119 @@ class TestRecordingUnderDegradation:
                 start=np.zeros(machine.num_categories, dtype=np.int64),
             )
             assert (total <= caps_t).all()
+
+
+# ----------------------------------------------------------------------
+# property suite: CompositeFaultModel == union of its parts, every step
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+def _task_failures(draw):
+    return TaskFailures(
+        draw(st.floats(0.0, 0.9)), seed=draw(st.integers(0, 1000))
+    )
+
+
+def _job_killer(draw):
+    return JobKiller(
+        draw(st.floats(0.0, 0.9)), seed=draw(st.integers(0, 1000))
+    )
+
+
+def _scripted_kills(draw):
+    kills = draw(
+        st.dictionaries(
+            st.integers(1, 10),
+            st.lists(st.integers(0, 7), max_size=4),
+            max_size=3,
+        )
+    )
+    return ScriptedKills(kills)
+
+
+@st.composite
+def fault_models(draw):
+    kind = draw(st.sampled_from(["task", "kill", "scripted"]))
+    if kind == "task":
+        return _task_failures(draw)
+    if kind == "kill":
+        return _job_killer(draw)
+    return _scripted_kills(draw)
+
+
+@st.composite
+def executed_maps(draw):
+    """jid -> per-category lists of distinct task ids (K = 2)."""
+    jids = draw(st.lists(st.integers(0, 7), unique=True, max_size=4))
+    return {
+        jid: [
+            sorted(
+                draw(
+                    st.sets(st.integers(0, 30), max_size=5)
+                )
+            )
+            for _ in range(2)
+        ]
+        for jid in jids
+    }
+
+
+class TestCompositeUnionProperty:
+    @_SETTINGS
+    @given(
+        models=st.lists(fault_models(), min_size=1, max_size=4),
+        executed=executed_maps(),
+        t=st.integers(1, 10),
+    )
+    def test_task_failures_are_exact_union(self, models, executed, t):
+        composite = CompositeFaultModel(models)
+        merged = composite.task_failures(t, executed)
+        # union of the independently-evaluated parts, per job and category
+        expected: dict[int, list[set]] = {}
+        for model in models:
+            for jid, per_cat in model.task_failures(t, executed).items():
+                slot = expected.setdefault(jid, [set(), set()])
+                for alpha, tasks in enumerate(per_cat):
+                    slot[alpha] |= set(tasks)
+        assert set(merged) == set(expected)
+        for jid, per_cat in merged.items():
+            for alpha, tasks in enumerate(per_cat):
+                assert len(tasks) == len(set(tasks))  # no duplicates
+                assert set(tasks) == expected[jid][alpha]
+                assert set(tasks) <= set(executed[jid][alpha])
+
+    @_SETTINGS
+    @given(
+        models=st.lists(fault_models(), min_size=1, max_size=4),
+        alive=st.lists(st.integers(0, 7), unique=True, max_size=6),
+        t=st.integers(1, 10),
+    )
+    def test_job_kills_are_exact_union(self, models, alive, t):
+        composite = CompositeFaultModel(models)
+        merged = list(composite.job_kills(t, tuple(alive)))
+        expected: set[int] = set()
+        order: list[int] = []
+        for model in models:
+            for jid in model.job_kills(t, tuple(alive)):
+                if jid not in expected:
+                    expected.add(jid)
+                    order.append(jid)
+        assert merged == order  # first-occurrence order, deduplicated
+        assert set(merged) <= set(alive)
+
+    @_SETTINGS
+    @given(
+        models=st.lists(fault_models(), min_size=1, max_size=3),
+        executed=executed_maps(),
+        t=st.integers(1, 10),
+    )
+    def test_composite_is_deterministic(self, models, executed, t):
+        a = CompositeFaultModel(models)
+        b = CompositeFaultModel(models)
+        assert a.task_failures(t, executed) == b.task_failures(t, executed)
+        alive = tuple(sorted(executed))
+        assert list(a.job_kills(t, alive)) == list(b.job_kills(t, alive))

@@ -1,0 +1,311 @@
+"""Crash-safe journaling: CRC framing, torn-tail truncation, and
+digest-verified recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.io.trace_io import trace_to_dict
+from repro.jobs import workloads
+from repro.machine.churn import ChurnEvent, ChurnSchedule
+from repro.schedulers import KRad
+from repro.sim import (
+    Journal,
+    ScriptedViolation,
+    Simulator,
+    Supervisor,
+    default_monitors,
+    read_journal,
+    state_digest,
+)
+from repro.sim.faults import TaskFailures
+
+
+def _make_js(rng, n=6):
+    return workloads.random_dag_jobset(
+        rng, 2, n, size_hint=12, release_times=[0, 0, 2, 5, 5, 11][:n]
+    )
+
+
+def _assert_identical(a, b):
+    assert a.makespan == b.makespan
+    assert a.completion_times == b.completion_times
+    assert a.busy.tolist() == b.busy.tolist()
+    assert a.stall_steps == b.stall_steps
+    if a.trace is not None:
+        assert trace_to_dict(a.trace) == trace_to_dict(b.trace)
+
+
+class TestFraming:
+    def test_append_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        j = Journal(path, fsync=False)
+        j.append("meta", {"version": 1})
+        j.append("step", {"t": 1, "digest": 42})
+        j.close()
+        records, valid_bytes, clean = read_journal(path)
+        assert clean
+        assert [r.type for r in records] == ["meta", "step"]
+        assert [r.seq for r in records] == [1, 2]
+        assert records[1].data == {"t": 1, "digest": 42}
+        assert valid_bytes == os.path.getsize(path)
+
+    def test_corrupt_record_stops_reading(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        j = Journal(path, fsync=False)
+        j.append("meta", {"version": 1})
+        j.append("step", {"t": 1})
+        j.close()
+        raw = open(path, "rb").read().splitlines(keepends=True)
+        # flip a payload byte in record 2; the CRC no longer matches
+        doc = json.loads(raw[1])
+        doc["data"]["t"] = 999
+        raw[1] = (json.dumps(doc, separators=(",", ":")) + "\n").encode()
+        open(path, "wb").write(b"".join(raw))
+        records, _, clean = read_journal(path)
+        assert not clean
+        assert [r.type for r in records] == ["meta"]
+
+    def test_torn_tail_detected_and_truncated(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        j = Journal(path, fsync=False)
+        j.append("meta", {"version": 1})
+        j.append("step", {"t": 1, "digest": 7})
+        j.close()
+        full = os.path.getsize(path)
+        with open(path, "ab") as fh:  # half a record, no newline
+            fh.write(b'{"seq":3,"type":"st')
+        records, valid_bytes, clean = read_journal(path, truncate=True)
+        assert not clean
+        assert len(records) == 2
+        assert valid_bytes == full
+        assert os.path.getsize(path) == full  # tail physically cut
+        # a second read of the truncated file is clean
+        _, _, clean2 = read_journal(path)
+        assert clean2
+
+    def test_sequence_gap_rejected(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        j = Journal(path, fsync=False)
+        j.append("meta", {"version": 1})
+        j.close()
+        j2 = Journal(path, fsync=False, start_seq=5)  # wrong resume seq
+        j2.append("step", {"t": 1})
+        j2.close()
+        records, _, clean = read_journal(path)
+        assert not clean
+        assert len(records) == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            read_journal(str(tmp_path / "nope.journal"))
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        with pytest.raises(JournalError):
+            Journal(str(tmp_path / "j"), checkpoint_every=0)
+
+    def test_state_digest_order_independent(self):
+        assert state_digest({"a": 1, "b": 2}) == state_digest(
+            {"b": 2, "a": 1}
+        )
+        assert state_digest({"a": 1}) != state_digest({"a": 2})
+
+
+class TestJournaledRuns:
+    def test_journaled_run_matches_plain_run(self, rng, machine2, tmp_path):
+        js = _make_js(rng)
+        ref = Simulator(
+            machine2, KRad(), js.fresh_copy(), record_trace=True
+        ).run()
+        path = str(tmp_path / "run.journal")
+        r = Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            record_trace=True,
+            journal=Journal(path, checkpoint_every=5, fsync=False),
+        ).run()
+        _assert_identical(ref, r)
+        records, _, clean = read_journal(path)
+        assert clean
+        types = [rec.type for rec in records]
+        assert types[0] == "meta"
+        assert types[1] == "checkpoint"
+        assert types[-1] == "end"
+        assert types.count("step") == ref.makespan
+        assert records[-1].data["makespan"] == ref.makespan
+
+    def test_recover_resumes_to_identical_result(
+        self, rng, machine2, tmp_path
+    ):
+        js = _make_js(rng)
+        ref = Simulator(
+            machine2, KRad(), js.fresh_copy(), record_trace=True
+        ).run()
+        path = str(tmp_path / "run.journal")
+        sim = Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            record_trace=True,
+            journal=Journal(path, checkpoint_every=4, fsync=False),
+        )
+        assert sim.run_until(7) is None
+        sim._journal.close()  # abandon mid-run: simulated crash
+
+        recovered = Simulator.recover(path, fsync=False)
+        r = recovered.run()
+        _assert_identical(ref, r)
+        # the resumed run keeps appending to the same journal
+        records, _, clean = read_journal(path)
+        assert clean
+        assert records[-1].type == "end"
+
+    def test_recover_chain_survives_second_crash(
+        self, rng, machine2, tmp_path
+    ):
+        js = _make_js(rng)
+        ref = Simulator(machine2, KRad(), js.fresh_copy()).run()
+        path = str(tmp_path / "run.journal")
+        sim = Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            journal=Journal(path, checkpoint_every=3, fsync=False),
+        )
+        assert sim.run_until(4) is None
+        sim._journal.close()
+        sim2 = Simulator.recover(path, fsync=False)
+        assert sim2.run_until(9) is None
+        sim2._journal.close()
+        r = Simulator.recover(path, fsync=False).run()
+        assert r.makespan == ref.makespan
+        assert r.completion_times == ref.completion_times
+
+    def test_recover_with_torn_tail(self, rng, machine2, tmp_path):
+        js = _make_js(rng)
+        ref = Simulator(machine2, KRad(), js.fresh_copy()).run()
+        path = str(tmp_path / "run.journal")
+        sim = Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            journal=Journal(path, checkpoint_every=3, fsync=False),
+        )
+        assert sim.run_until(6) is None
+        sim._journal.close()
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq":99,"type":"step","crc":0,"data"')
+        r = Simulator.recover(path, fsync=False).run()
+        assert r.makespan == ref.makespan
+
+    def test_recover_faulty_supervised_churned_run(
+        self, rng, machine2, tmp_path
+    ):
+        """The full stack at once: churn + supervisor rebuilt from journal
+        metadata, fault model passed back in by the caller."""
+        js = _make_js(rng)
+        churn = ChurnSchedule(
+            (4, 2), [ChurnEvent(step=3, category=0, delta=-2, duration=4)]
+        )
+        sup = Supervisor(
+            default_monitors() + [ScriptedViolation(step=4, job_id=3)],
+            mode="resilient",
+        )
+        fm = TaskFailures(0.1, seed=7)
+
+        def make_sim(journal=None):
+            return Simulator(
+                machine2,
+                KRad(),
+                js.fresh_copy(),
+                churn=churn,
+                supervisor=sup,
+                fault_model=fm,
+                journal=journal,
+            )
+
+        ref = make_sim().run()
+        path = str(tmp_path / "run.journal")
+        sim = make_sim(Journal(path, checkpoint_every=5, fsync=False))
+        assert sim.run_until(8) is None
+        sim._journal.close()
+        r = Simulator.recover(path, fault_model=fm, fsync=False).run()
+        assert r.makespan == ref.makespan
+        assert r.quarantined_jobs == ref.quarantined_jobs
+        assert [i.to_dict() for i in r.incidents] == [
+            i.to_dict() for i in ref.incidents
+        ]
+
+
+class TestRecoveryGuards:
+    def _crashed_journal(self, rng, machine2, tmp_path, stop=5):
+        js = _make_js(rng)
+        path = str(tmp_path / "run.journal")
+        sim = Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            journal=Journal(path, checkpoint_every=3, fsync=False),
+        )
+        assert sim.run_until(stop) is None
+        sim._journal.close()
+        return path
+
+    def test_completed_journal_rejected(self, rng, machine2, tmp_path):
+        js = _make_js(rng)
+        path = str(tmp_path / "run.journal")
+        Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            journal=Journal(path, fsync=False),
+        ).run()
+        with pytest.raises(JournalError, match="nothing to recover"):
+            Simulator.recover(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = str(tmp_path / "not-a.journal")
+        open(path, "w").write("garbage\n")
+        with pytest.raises(JournalError, match="meta"):
+            Simulator.recover(path)
+
+    def test_missing_fault_model_rejected(self, rng, machine2, tmp_path):
+        js = _make_js(rng)
+        path = str(tmp_path / "run.journal")
+        sim = Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            fault_model=TaskFailures(0.1, seed=7),
+            journal=Journal(path, checkpoint_every=3, fsync=False),
+        )
+        assert sim.run_until(5) is None
+        sim._journal.close()
+        with pytest.raises(JournalError, match="fault model"):
+            Simulator.recover(path)
+
+    def test_replay_divergence_detected(self, rng, machine2, tmp_path):
+        """Tampering with a step digest (without breaking the CRC frame)
+        must be caught by replay verification."""
+        path = self._crashed_journal(rng, machine2, tmp_path)
+        from repro.sim.journal import _frame_crc
+
+        raw = open(path, "rb").read().splitlines(keepends=True)
+        fixed = []
+        for line in raw:
+            doc = json.loads(line)
+            if doc["type"] == "step" and doc["data"]["t"] == 5:
+                doc["data"]["digest"] = (doc["data"]["digest"] + 1) % 2**32
+                doc["crc"] = _frame_crc(
+                    doc["seq"], doc["type"], doc["data"]
+                )
+                line = (
+                    json.dumps(doc, separators=(",", ":")) + "\n"
+                ).encode()
+            fixed.append(line)
+        open(path, "wb").write(b"".join(fixed))
+        with pytest.raises(JournalError, match="diverged"):
+            Simulator.recover(path, fsync=False)

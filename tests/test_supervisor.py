@@ -1,0 +1,380 @@
+"""Supervised execution: invariant monitors, strict/resilient modes,
+quarantine, and incident persistence through checkpoint/restore."""
+
+import pytest
+
+from repro.errors import InvariantViolation, SerializationError, SimulationError
+from repro.jobs import workloads
+from repro.machine import KResourceMachine
+from repro.machine.churn import ChurnEvent, ChurnSchedule
+from repro.schedulers import KRad, KRoundRobin
+from repro.sim import (
+    CheckpointDeterminismMonitor,
+    FeasibilityMonitor,
+    Incident,
+    RadBatchingMonitor,
+    ScriptedViolation,
+    Simulator,
+    StepView,
+    Supervisor,
+    Violation,
+    WorkConservationMonitor,
+    default_monitors,
+    simulate,
+)
+from repro.sim.supervisor import monitor_from_spec
+
+
+def _view(
+    *,
+    t=1,
+    capacities=(4, 2),
+    desires=None,
+    allotments=None,
+    scheduler=None,
+    checkpoint=None,
+):
+    return StepView(
+        t=t,
+        capacities=tuple(capacities),
+        nominal_capacities=tuple(capacities),
+        desires=desires or {},
+        allotments=allotments or {},
+        executed={},
+        scheduler=scheduler,
+        checkpoint=checkpoint,
+    )
+
+
+class TestFeasibilityMonitor:
+    def test_clean_step_passes(self):
+        m = FeasibilityMonitor()
+        view = _view(
+            desires={0: [3, 1], 1: [2, 1]},
+            allotments={0: [2, 1], 1: [2, 1]},
+        )
+        assert m.check(view) == []
+
+    def test_allotment_above_desire_flagged(self):
+        m = FeasibilityMonitor()
+        view = _view(desires={0: [1, 0]}, allotments={0: [2, 0]})
+        out = m.check(view)
+        assert out and out[0].job_id == 0 and out[0].category == 0
+
+    def test_overfull_category_blames_largest_allotment(self):
+        m = FeasibilityMonitor()
+        view = _view(
+            capacities=(3, 2),
+            desires={0: [3, 0], 1: [2, 0]},
+            allotments={0: [3, 0], 1: [2, 0]},
+        )
+        out = [v for v in m.check(view) if "exceeds" in v.message]
+        assert out and out[0].job_id == 0 and out[0].category == 0
+
+
+class TestWorkConservationMonitor:
+    def test_starved_job_with_idle_processors_flagged(self):
+        m = WorkConservationMonitor()
+        view = _view(
+            capacities=(4, 2),
+            desires={0: [3, 0], 1: [2, 0]},
+            allotments={0: [1, 0], 1: [1, 0]},  # 2 idle, both starved
+        )
+        out = m.check(view)
+        assert len(out) == 1  # one witness per category suffices
+        assert out[0].category == 0
+
+    def test_saturated_category_passes(self):
+        m = WorkConservationMonitor()
+        view = _view(
+            capacities=(2, 2),
+            desires={0: [3, 0]},
+            allotments={0: [2, 0]},
+        )
+        assert m.check(view) == []
+
+
+class TestRadBatchingMonitor:
+    def test_inert_without_category_state(self):
+        m = RadBatchingMonitor()
+        view = _view(scheduler=object())
+        assert m.check(view) == []
+
+    def test_saturation_breach_flagged(self):
+        m = RadBatchingMonitor()
+
+        class FakeState:
+            def in_rr_cycle(self):
+                return False
+
+        class FakeRad:
+            def category_state(self, alpha):
+                return FakeState()
+
+        view = _view(
+            capacities=(2,),
+            desires={0: [1], 1: [1], 2: [1]},
+            allotments={0: [1]},  # 3 active >= P=2 but only 1 allotted
+            scheduler=FakeRad(),
+        )
+        out = m.check(view)
+        assert out and "saturation" in out[0].message
+
+    def test_multi_processor_allotment_in_open_cycle_flagged(self):
+        m = RadBatchingMonitor()
+
+        class FakeState:
+            def in_rr_cycle(self):
+                return True
+
+        class FakeRad:
+            def category_state(self, alpha):
+                return FakeState()
+
+        view = _view(
+            capacities=(2,),
+            desires={0: [2]},
+            allotments={0: [2]},
+            scheduler=FakeRad(),
+        )
+        out = m.check(view)
+        assert out and out[0].job_id == 0
+
+
+class TestCheckpointDeterminismMonitor:
+    def test_identical_snapshots_pass(self):
+        m = CheckpointDeterminismMonitor(period=1)
+        view = _view(checkpoint=lambda: {"a": 1})
+        assert m.check(view) == []
+
+    def test_nondeterministic_snapshot_flagged(self):
+        m = CheckpointDeterminismMonitor(period=1)
+        counter = iter(range(100))
+        view = _view(checkpoint=lambda: {"a": next(counter)})
+        out = m.check(view)
+        assert out and "not deterministic" in out[0].message
+
+    def test_off_period_steps_skipped(self):
+        m = CheckpointDeterminismMonitor(period=10)
+        counter = iter(range(100))
+        view = _view(t=3, checkpoint=lambda: {"a": next(counter)})
+        assert m.check(view) == []
+
+    def test_period_validated(self):
+        with pytest.raises(SimulationError):
+            CheckpointDeterminismMonitor(period=0)
+
+
+class TestSupervisorModes:
+    def test_strict_raises_with_context(self):
+        sup = Supervisor(
+            [ScriptedViolation(step=2, job_id=7, category=1)],
+            mode="strict",
+        )
+        view = _view(t=2, desires={7: [1, 0]})
+        with pytest.raises(InvariantViolation) as exc:
+            sup.observe(view)
+        assert exc.value.step == 2
+        assert exc.value.monitor == "scripted-violation"
+        assert exc.value.job_id == 7
+        assert exc.value.category == 1
+
+    def test_resilient_returns_violations(self):
+        sup = Supervisor(
+            [ScriptedViolation(step=2, job_id=7)], mode="resilient"
+        )
+        out = sup.observe(_view(t=2, desires={7: [1, 0]}))
+        assert len(out) == 1
+        assert isinstance(out[0], Violation)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            Supervisor(mode="lenient")
+
+    def test_default_monitor_set(self):
+        names = [m.name for m in default_monitors()]
+        assert names == [
+            "feasibility",
+            "work-conservation",
+            "rad-batching",
+        ]
+
+    def test_dict_round_trip(self):
+        sup = Supervisor(
+            [
+                FeasibilityMonitor(),
+                CheckpointDeterminismMonitor(period=7),
+                ScriptedViolation(step=3, job_id=1, category=1),
+            ],
+            mode="strict",
+        )
+        clone = Supervisor.from_dict(sup.to_dict())
+        assert clone.mode == "strict"
+        assert [m.spec() for m in clone.monitors] == [
+            m.spec() for m in sup.monitors
+        ]
+
+    def test_from_dict_rejects_bad_documents(self):
+        with pytest.raises(SerializationError):
+            Supervisor.from_dict({"format": "jobset"})
+        doc = Supervisor().to_dict()
+        doc["version"] = 9
+        with pytest.raises(SerializationError):
+            Supervisor.from_dict(doc)
+        with pytest.raises(SimulationError):
+            monitor_from_spec({"kind": "no-such-monitor"})
+
+
+class TestSupervisedRuns:
+    def test_clean_krad_run_has_no_incidents(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 8, size_hint=20)
+        r = simulate(
+            machine2,
+            KRad(),
+            js,
+            supervisor=Supervisor(mode="strict"),
+        )
+        assert r.incidents == ()
+        assert r.quarantined_jobs == ()
+        assert len(r.completion_times) == len(js)
+
+    def test_clean_run_under_churn_has_no_incidents(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 10, size_hint=20)
+        churn = ChurnSchedule(
+            (4, 2),
+            [
+                ChurnEvent(step=3, category=0, delta=-3, duration=4),
+                ChurnEvent(step=5, category=1, delta=2),
+            ],
+        )
+        r = simulate(
+            machine2,
+            KRad(),
+            js,
+            churn=churn,
+            supervisor=Supervisor(mode="strict"),
+        )
+        assert r.incidents == ()
+
+    def test_round_robin_caught_non_work_conserving(self, rng, machine2):
+        """The monitor catches a *real* scheduler, not just fakes: plain
+        round-robin hands each job one processor and leaves the rest idle
+        even when desires are unmet."""
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=15)
+        with pytest.raises(InvariantViolation) as exc:
+            simulate(
+                machine2,
+                KRoundRobin(),
+                js,
+                supervisor=Supervisor(
+                    [WorkConservationMonitor()], mode="strict"
+                ),
+            )
+        assert exc.value.monitor == "work-conservation"
+
+    def test_round_robin_feasible_under_supervision(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=15)
+        r = simulate(
+            machine2,
+            KRoundRobin(),
+            js,
+            supervisor=Supervisor([FeasibilityMonitor()], mode="strict"),
+        )
+        assert r.incidents == ()
+
+    def test_strict_mode_stops_the_run(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=15)
+        sup = Supervisor(
+            default_monitors() + [ScriptedViolation(step=2, job_id=0)],
+            mode="strict",
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            simulate(machine2, KRad(), js, supervisor=sup)
+        assert exc.value.step == 2
+        assert exc.value.job_id == 0
+
+    def test_resilient_mode_quarantines_only_offender(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=15)
+        sup = Supervisor(
+            default_monitors() + [ScriptedViolation(step=2, job_id=4)],
+            mode="resilient",
+        )
+        r = simulate(machine2, KRad(), js, supervisor=sup)
+        assert r.quarantined_jobs == (4,)
+        assert 4 not in r.completion_times
+        # every other job still completes
+        assert len(r.completion_times) == len(js) - 1
+        assert [i.action for i in r.incidents] == ["quarantined"]
+        assert r.incidents[0].monitor == "scripted-violation"
+        assert r.incidents[0].step == 2
+        assert "quarantined=1" in r.summary()
+
+    def test_quarantine_all_jobs_terminates(self, rng):
+        """A run whose every job is quarantined must end, not stall."""
+        machine = KResourceMachine((4,))
+        js = workloads.random_dag_jobset(rng, 1, 2, size_hint=30)
+        sup = Supervisor(
+            [
+                ScriptedViolation(step=1, job_id=0),
+                ScriptedViolation(step=1, job_id=1),
+            ],
+            mode="resilient",
+        )
+        r = simulate(machine, KRad(), js, supervisor=sup)
+        assert sorted(r.quarantined_jobs) == [0, 1]
+        assert r.completion_times == {}
+
+    def test_incident_round_trips_through_checkpoint(self, rng, machine2):
+        js = workloads.random_dag_jobset(rng, 2, 6, size_hint=15)
+        sup = Supervisor(
+            default_monitors() + [ScriptedViolation(step=2, job_id=0)],
+            mode="resilient",
+        )
+
+        def make_sim():
+            return Simulator(
+                machine2, KRad(), js.fresh_copy(), supervisor=sup
+            )
+
+        ref = make_sim().run()
+        sim = make_sim()
+        assert sim.run_until(4) is None
+        snap = sim.checkpoint()
+        resumed = Simulator.restore(snap, KRad(), supervisor=sup).run()
+        assert resumed.quarantined_jobs == ref.quarantined_jobs
+        assert [i.to_dict() for i in resumed.incidents] == [
+            i.to_dict() for i in ref.incidents
+        ]
+        assert resumed.makespan == ref.makespan
+
+    def test_supervisor_presence_must_match_on_restore(
+        self, rng, machine2
+    ):
+        js = workloads.random_dag_jobset(rng, 2, 4, size_hint=12)
+        sim = Simulator(
+            machine2, KRad(), js.fresh_copy(), supervisor=Supervisor()
+        )
+        assert sim.run_until(2) is None
+        snap = sim.checkpoint()
+        with pytest.raises(SimulationError, match="supervisor"):
+            Simulator.restore(snap, KRad())
+
+
+class TestIncidentSerialization:
+    def test_round_trip(self):
+        inc = Incident(
+            step=4,
+            monitor="feasibility",
+            message="boom",
+            job_id=2,
+            category=1,
+            action="quarantined",
+        )
+        assert Incident.from_dict(inc.to_dict()) == inc
+
+    def test_none_fields_preserved(self):
+        inc = Incident(step=1, monitor="m", message="x")
+        clone = Incident.from_dict(inc.to_dict())
+        assert clone.job_id is None
+        assert clone.category is None
+        assert clone.action == "logged"
