@@ -1,8 +1,13 @@
 """PERF bench — simulation-engine throughput scaling.
 
-Not a paper artefact: repository QA that keeps the substrate fast enough for
-the sweeps.  Measures end-to-end simulation time while scaling jobs,
+Not a paper artefact: repository QA that keeps the substrate fast enough
+for the sweeps.  Measures end-to-end simulation time while scaling jobs,
 processors and categories, and DAG-unfolding cost on a large graph.
+Every scaling cell runs once per engine (``reference`` and ``fast``), so
+the committed baseline pins both the reference's absolute cost and the
+fast path's advantage; ``benchmarks/compare_bench.py`` gates CI on the
+256-job / K=8 cell keeping a >= 5x fast-over-reference ratio and on no
+cell regressing more than 25% against the baseline.
 """
 
 import numpy as np
@@ -12,41 +17,68 @@ from repro.dag import builders
 from repro.jobs import JobSet, workloads
 from repro.machine import KResourceMachine
 from repro.schedulers import KRad
-from repro.sim import simulate
+from repro.sim import ENGINE_NAMES, simulate
 
 
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
 @pytest.mark.parametrize("n_jobs", [16, 64, 256])
-def test_scaling_jobs(benchmark, n_jobs):
+def test_scaling_jobs(benchmark, n_jobs, engine):
     machine = KResourceMachine((8, 8))
     rng = np.random.default_rng(0)
     js = workloads.random_phase_jobset(rng, 2, n_jobs, max_work=20)
-    result = benchmark(lambda: simulate(machine, KRad(), js))
+    result = benchmark(
+        lambda: simulate(machine, KRad(), js, seed=0, engine=engine)
+    )
     assert result.num_jobs == n_jobs
 
 
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
 @pytest.mark.parametrize("k", [1, 2, 4, 8])
-def test_scaling_categories(benchmark, k):
+def test_scaling_categories(benchmark, k, engine):
     machine = KResourceMachine(tuple([4] * k))
     rng = np.random.default_rng(1)
     js = workloads.random_phase_jobset(rng, k, 32, max_work=20)
-    result = benchmark(lambda: simulate(machine, KRad(), js))
+    result = benchmark(
+        lambda: simulate(machine, KRad(), js, seed=0, engine=engine)
+    )
     assert result.makespan > 0
 
 
-def test_large_dag_unfolding(benchmark):
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_perf_cell_256jobs_k8(benchmark, engine):
+    """The headline PERF cell: 256 phase jobs on an 8-category machine.
+
+    ``compare_bench.py`` asserts fast >= 5x reference on this pair.
+    """
+    machine = KResourceMachine((8,) * 8)
+    rng = np.random.default_rng(0)
+    js = workloads.random_phase_jobset(rng, 8, 256, max_work=20)
+    result = benchmark(
+        lambda: simulate(machine, KRad(), js, seed=0, engine=engine)
+    )
+    assert result.num_jobs == 256
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_large_dag_unfolding(benchmark, engine):
     """A single 10k-vertex mesh job through the full engine."""
     machine = KResourceMachine((16, 16))
     dag = builders.diamond_mesh(100, 100, 2)
     js = JobSet.from_dags([dag])
-    result = benchmark(lambda: simulate(machine, KRad(), js))
+    result = benchmark(
+        lambda: simulate(machine, KRad(), js, seed=0, engine=engine)
+    )
     assert result.makespan >= dag.span()
 
 
-def test_trace_recording_overhead(benchmark):
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_trace_recording_overhead(benchmark, engine):
     machine = KResourceMachine((8,))
     rng = np.random.default_rng(2)
     js = workloads.random_phase_jobset(rng, 1, 64, max_work=20)
     result = benchmark(
-        lambda: simulate(machine, KRad(), js, record_trace=True)
+        lambda: simulate(
+            machine, KRad(), js, seed=0, record_trace=True, engine=engine
+        )
     )
     assert result.trace is not None

@@ -1,0 +1,118 @@
+"""Gate a pytest-benchmark JSON run against perf requirements.
+
+Two checks, both on ``--benchmark-json`` output from
+``benchmarks/bench_engine_perf.py``:
+
+1. **Same-run speedup** — on the headline 256-job / K=8 PERF cell the
+   fast engine must be at least ``--min-speedup`` (default 5.0) times
+   faster than the reference engine *measured in the same run*, so the
+   gate is immune to host-speed differences.
+
+2. **Baseline regression** — when a baseline JSON is given, each cell's
+   mean is compared against the committed baseline.  Host speed varies
+   between CI runners, so raw ratios are first normalised by the median
+   ratio across all cells (a uniformly 2x-slower machine has scale 2 and
+   passes); any cell slower than ``--max-regression`` (default 1.25)
+   times the normalised baseline fails.
+
+Stdlib only — runs anywhere the repo does, no pip installs.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_engine.json \
+        --baseline benchmarks/BENCH_engine.baseline.json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+HEADLINE = "test_perf_cell_256jobs_k8"
+
+
+def load_means(path):
+    """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def check_speedup(means, min_speedup):
+    ref = means.get(f"{HEADLINE}[reference]")
+    fast = means.get(f"{HEADLINE}[fast]")
+    if ref is None or fast is None:
+        return [
+            f"headline cell {HEADLINE!r} missing from the run "
+            f"(have: {sorted(means)})"
+        ]
+    speedup = ref / fast
+    print(
+        f"headline {HEADLINE}: reference {ref * 1e3:.1f} ms, "
+        f"fast {fast * 1e3:.1f} ms -> {speedup:.2f}x "
+        f"(required >= {min_speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        return [
+            f"fast engine is only {speedup:.2f}x faster than reference on "
+            f"{HEADLINE} (required >= {min_speedup:.2f}x)"
+        ]
+    return []
+
+
+def check_baseline(means, base_means, max_regression):
+    common = sorted(set(means) & set(base_means))
+    if not common:
+        return ["no benchmarks in common with the baseline"]
+    ratios = {name: means[name] / base_means[name] for name in common}
+    scale = statistics.median(ratios.values())
+    print(
+        f"baseline comparison over {len(common)} cells; host scale "
+        f"{scale:.3f} (median current/baseline ratio)"
+    )
+    failures = []
+    for name in common:
+        normalised = ratios[name] / scale
+        marker = " <-- REGRESSION" if normalised > max_regression else ""
+        print(
+            f"  {name}: {means[name] * 1e3:8.2f} ms "
+            f"(baseline {base_means[name] * 1e3:8.2f} ms, "
+            f"normalised x{normalised:.2f}){marker}"
+        )
+        if normalised > max_regression:
+            failures.append(
+                f"{name} regressed to {normalised:.2f}x the baseline "
+                f"(limit {max_regression:.2f}x after host normalisation)"
+            )
+    missing = sorted(set(base_means) - set(means))
+    if missing:
+        failures.append(f"cells present in baseline but not run: {missing}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="benchmark JSON from this run")
+    parser.add_argument(
+        "--baseline", help="committed baseline JSON to compare against"
+    )
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--max-regression", type=float, default=1.25)
+    args = parser.parse_args(argv)
+
+    means = load_means(args.current)
+    failures = check_speedup(means, args.min_speedup)
+    if args.baseline:
+        failures += check_baseline(
+            means, load_means(args.baseline), args.max_regression
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

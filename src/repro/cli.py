@@ -99,7 +99,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write --out as JSON lines (one report object per line)",
     )
+    _add_engine_argument(parser)
     return parser
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.engine import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help="simulation engine: 'reference' (the executable "
+        "specification; default) or 'fast' (vectorised, bit-identical "
+        "results)",
+    )
 
 
 def _run_one(
@@ -209,6 +223,7 @@ def _build_faults_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also append the rendered metrics table to FILE",
     )
+    _add_engine_argument(parser)
     return parser
 
 
@@ -297,6 +312,7 @@ def _faults_main(argv: list[str]) -> int:
             fault_model=fault_model,
             retry_policy=retry_policy,
             max_stall_steps=args.max_stall_steps,
+            engine=args.engine,
         )
     except Exception as exc:  # surface model errors as CLI errors
         print(f"krad faults: {exc}", file=sys.stderr)
@@ -386,6 +402,7 @@ def _build_supervise_parser() -> argparse.ArgumentParser:
         help="drill: fire a synthetic invariant violation for JOB at STEP "
         "to exercise the strict/resilient path",
     )
+    _add_engine_argument(parser)
     return parser
 
 
@@ -422,9 +439,9 @@ def _supervise_main(argv: list[str]) -> int:
     from repro.sim import (
         Journal,
         ScriptedViolation,
-        Simulator,
         Supervisor,
         default_monitors,
+        engine_class,
     )
 
     args = _build_supervise_parser().parse_args(argv)
@@ -463,7 +480,7 @@ def _supervise_main(argv: list[str]) -> int:
             rng, machine.num_categories, args.jobs, size_hint=20
         )
         scheduler = KRad()
-        result = Simulator(
+        result = engine_class(args.engine)(
             machine,
             scheduler,
             js,
@@ -507,12 +524,13 @@ def _recover_main(argv: list[str]) -> int:
     parser.add_argument(
         "journal", help="journal file from 'krad supervise --journal'"
     )
+    _add_engine_argument(parser)
     args = parser.parse_args(argv)
 
-    from repro.sim import Simulator
+    from repro.sim import engine_class
 
     try:
-        sim = Simulator.recover(args.journal)
+        sim = engine_class(args.engine).recover(args.journal)
         result = sim.run()
     except Exception as exc:
         print(f"krad recover: {exc}", file=sys.stderr)
@@ -538,6 +556,12 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "recover":
         return _recover_main(argv[1:])
     args = _build_parser().parse_args(argv)
+    if args.engine is not None:
+        # experiments call simulate() internally; the flag routes every
+        # run of this invocation through the chosen engine
+        from repro.sim.engine import set_default_engine
+
+        set_default_engine(args.engine)
     target = args.experiment.upper()
     if target == "LIST":
         for key in sorted(REGISTRY):

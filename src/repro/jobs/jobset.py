@@ -27,17 +27,29 @@ class JobSet:
     exploit.
     """
 
-    def __init__(self, jobs: Sequence[Job]) -> None:
+    def __init__(
+        self, jobs: Sequence[Job], num_categories: int | None = None
+    ) -> None:
         jobs = list(jobs)
-        if not jobs:
-            raise WorkloadError("a JobSet needs at least one job")
+        if not jobs and num_categories is None:
+            # An empty set is only well-defined with an explicit K (the
+            # aggregates below need a vector width).
+            raise WorkloadError(
+                "a JobSet needs at least one job (or an explicit "
+                "num_categories= for an empty set)"
+            )
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
             raise WorkloadError(f"duplicate job ids in job set: {sorted(ids)}")
-        k = jobs[0].num_categories
+        k = jobs[0].num_categories if jobs else int(num_categories)
+        if num_categories is not None and k != int(num_categories):
+            raise WorkloadError(
+                f"jobs use K={k} but num_categories={int(num_categories)}"
+            )
         if any(j.num_categories != k for j in jobs):
             raise WorkloadError("all jobs in a set must use the same K")
         self._jobs = jobs
+        self._k = k
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -65,7 +77,9 @@ class JobSet:
 
     def fresh_copy(self) -> "JobSet":
         """Reset clones of every job — use one copy per simulation run."""
-        return JobSet([j.fresh_copy() for j in self._jobs])
+        return JobSet(
+            [j.fresh_copy() for j in self._jobs], num_categories=self._k
+        )
 
     # ------------------------------------------------------------------
     # container protocol
@@ -85,7 +99,7 @@ class JobSet:
 
     @property
     def num_categories(self) -> int:
-        return self._jobs[0].num_categories
+        return self._k
 
     # ------------------------------------------------------------------
     # static aggregates (the quantities the bounds are stated in)
@@ -96,10 +110,14 @@ class JobSet:
 
     def total_work_vector(self) -> np.ndarray:
         """``T1(J, alpha)`` for every alpha (Definition 3)."""
+        if not self._jobs:
+            return np.zeros(self._k, dtype=np.int64)
         return np.sum([j.work_vector() for j in self._jobs], axis=0)
 
     def work_matrix(self) -> np.ndarray:
         """``T1(Ji, alpha)`` as an ``(n, K)`` matrix (squashed-area input)."""
+        if not self._jobs:
+            return np.zeros((0, self._k), dtype=np.int64)
         return np.stack([j.work_vector() for j in self._jobs])
 
     def aggregate_span(self) -> int:
@@ -108,6 +126,8 @@ class JobSet:
 
     def max_release_plus_span(self) -> int:
         """``max_i (r(Ji) + T_inf(Ji))`` — the release-aware span bound."""
+        if not self._jobs:
+            return 0
         return max(j.release_time + j.span() for j in self._jobs)
 
     def release_times(self) -> np.ndarray:

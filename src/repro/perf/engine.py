@@ -12,6 +12,11 @@ The scheduler remains non-clairvoyant and speed-oblivious: it sees desires
 once per macro step and allots processor counts, exactly as in the base
 model.  Allotments are validated against the macro-step desire; in later
 micro-rounds the executed count is clipped to what is actually ready.
+
+This extension always runs on the reference substrate: micro-round
+execution observes every unit of work, so the fast engine's cached
+desires and quiescent-span skipping (``repro.sim.fastengine``) do not
+apply here.
 """
 
 from __future__ import annotations

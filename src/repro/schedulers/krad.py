@@ -13,6 +13,15 @@ Proven guarantees (all verified empirically in ``benchmarks/``):
 * mean response time, batched jobs: ``(4K + 1 - 4K/(n+1))``-competitive
   (Theorem 6), improving to ``(2K + 1 - 2K/(n+1))`` under light workload
   (Theorem 5) and to 3-competitive for K = 1.
+
+Two allocation entry points share one state machine:
+
+* :meth:`KRad.allocate` — the per-step dict interface every scheduler
+  implements (the reference engine's path);
+* :meth:`KRad.begin_batch` — hands out a :class:`KRadBatch`, a row-aligned
+  vectorised form of the same state used by the fast engine
+  (:mod:`repro.sim.fastengine`).  Both produce bit-identical allocations;
+  the differential conformance suite pins that equivalence down.
 """
 
 from __future__ import annotations
@@ -21,9 +30,352 @@ import numpy as np
 
 from repro.machine.machine import KResourceMachine
 from repro.schedulers.base import Scheduler
+from repro.schedulers.deq import deq_allocate
 from repro.schedulers.rad import RadCategoryState
 
-__all__ = ["KRad"]
+__all__ = ["KRad", "KRadBatch"]
+
+
+class _BatchCategory:
+    """Vectorised twin of one :class:`RadCategoryState`.
+
+    Queue order is represented by a per-row *service sequence number*:
+    ascending ``seq`` is queue order, and moving a job to the queue back is
+    assigning it the next fresh number.  Rotating served jobs in their
+    original relative order therefore reproduces the list semantics of
+    :meth:`RadCategoryState._rotate` exactly.
+    """
+
+    __slots__ = ("seq", "marked", "next_seq", "rotate", "transitions", "n_marked")
+
+    def __init__(self) -> None:
+        self.seq = np.empty(0, dtype=np.int64)
+        self.marked = np.zeros(0, dtype=bool)
+        self.next_seq = 0
+        self.rotate = True
+        self.transitions = dict.fromkeys(RadCategoryState.TRANSITION_KINDS, 0)
+        self.n_marked = 0
+
+
+class _BatchCategoryView:
+    """Read-only :class:`RadCategoryState`-compatible view of a batch
+    category (what monitors and diagnostics introspect mid-run)."""
+
+    __slots__ = ("_batch", "_alpha")
+
+    def __init__(self, batch: "KRadBatch", alpha: int) -> None:
+        self._batch = batch
+        self._alpha = alpha
+
+    def in_rr_cycle(self) -> bool:
+        return self._batch._cats[self._alpha].n_marked > 0
+
+    @property
+    def marked_jobs(self) -> frozenset[int]:
+        c = self._batch._cats[self._alpha]
+        jids = self._batch.jids
+        return frozenset(jids[i] for i in np.flatnonzero(c.marked).tolist())
+
+    @property
+    def queue_order(self) -> tuple[int, ...]:
+        c = self._batch._cats[self._alpha]
+        jids = self._batch.jids
+        return tuple(jids[i] for i in np.argsort(c.seq).tolist())
+
+    @property
+    def transitions(self) -> dict[str, int]:
+        return dict(self._batch._cats[self._alpha].transitions)
+
+    def state_dict(self) -> dict:
+        return self._batch.category_dict(self._alpha)
+
+
+class KRadBatch:
+    """Row-aligned vectorised K-RAD state (the fast engine's substrate).
+
+    Rows correspond, in order, to the engine's live jobs (arrival order).
+    The engine owns row membership: it calls :meth:`sync` whenever the live
+    set changes — which performs, in one shot, exactly what ``register`` +
+    ``prune`` do on the list form — and :meth:`allocate` once per step with
+    the ``(n, K)`` desire matrix.  While a batch is active it *is* the
+    scheduler state; :meth:`KRad.state_dict` materialises it back to the
+    canonical list form on demand, so checkpoints, digests and monitors
+    see the identical structure either way.
+    """
+
+    def __init__(self, krad: "KRad", jids) -> None:
+        self._krad = krad
+        self.jids: list[int] = list(jids)
+        n = len(self.jids)
+        alive = set(self.jids)
+        self._cats: list[_BatchCategory] = []
+        for state in krad._states:
+            c = _BatchCategory()
+            c.rotate = state._rotate_enabled
+            c.transitions = dict(state._transitions)
+            # Seed queue order from the canonical state: known jobs keep
+            # their rank (ids no longer alive are pruned), unseen jobs are
+            # registered behind them in row order.
+            order = [j for j in state._order if j in alive]
+            seen = set(order)
+            order += [j for j in self.jids if j not in seen]
+            rank = {j: i for i, j in enumerate(order)}
+            c.seq = np.asarray([rank[j] for j in self.jids], dtype=np.int64)
+            c.next_seq = n
+            marked = state._marked & alive
+            c.marked = np.asarray(
+                [j in marked for j in self.jids], dtype=bool
+            )
+            c.n_marked = len(marked)
+            self._cats.append(c)
+
+    # ------------------------------------------------------------------
+    def sync(self, surv_pos, perm, fresh_pos, new_jids) -> None:
+        """Reconcile rows with the engine's new live set.
+
+        ``new_jids`` is the new live list; row ``surv_pos[i]`` of the new
+        layout is old row ``perm[i]`` (surviving jobs keep seq and mark —
+        including a killed-and-resubmitted job that never left the live
+        set between two allocations, mirroring the list form where such a
+        job is never pruned), and ``fresh_pos`` rows are newcomers
+        registered at the queue back in row order.  Rows absent from
+        ``perm`` are pruned.
+        """
+        n = len(new_jids)
+        sp = np.asarray(surv_pos, dtype=np.intp)
+        pm = np.asarray(perm, dtype=np.intp)
+        fp = np.asarray(fresh_pos, dtype=np.intp)
+        for c in self._cats:
+            seq = np.empty(n, dtype=np.int64)
+            marked = np.zeros(n, dtype=bool)
+            if sp.size:
+                seq[sp] = c.seq[pm]
+                marked[sp] = c.marked[pm]
+            if fp.size:
+                seq[fp] = np.arange(
+                    c.next_seq, c.next_seq + fp.size, dtype=np.int64
+                )
+                c.next_seq += int(fp.size)
+            c.seq = seq
+            c.marked = marked
+            c.n_marked = int(marked.sum())
+        self.jids = list(new_jids)
+
+    # ------------------------------------------------------------------
+    def allocate(self, desire_matrix: np.ndarray, capacities) -> dict:
+        """One K-RAD step over the ``(n, K)`` desire matrix.
+
+        Returns the same sparse ``{job_id: allotment vector}`` dict, with
+        the same insertion order, as :meth:`KRad.allocate` — round-robin
+        picks in queue order, then DEQ's satisfaction rounds.
+        """
+        jids = self.jids
+        k = len(self._cats)
+        out: dict[int, np.ndarray] = {}
+        if not jids:
+            for c in self._cats:
+                if c.n_marked:
+                    c.transitions["rr_to_deq"] += 1
+                    c.marked[:] = False
+                    c.n_marked = 0
+            return out
+        active_mask = desire_matrix > 0
+        for alpha, c in enumerate(self._cats):
+            cap = int(capacities[alpha])
+            act = np.flatnonzero(active_mask[:, alpha])
+            if act.size == 0:
+                if c.n_marked:
+                    # No active job while a cycle is open: the DEQ step
+                    # that would close it is empty, but the cycle still
+                    # closes and the marks clear (list form: Q empty,
+                    # closing_cycle true).
+                    c.transitions["rr_to_deq"] += 1
+                    c.marked[:] = False
+                    c.n_marked = 0
+                continue
+            seq = c.seq
+            act_marked = c.marked[act]
+            unmarked = act[~act_marked]
+            if unmarked.size > cap:
+                # Round-robin step: first `cap` unmarked actives in queue
+                # order each get one processor and are marked.
+                if cap > 0:
+                    if c.n_marked == 0:
+                        c.transitions["deq_to_rr"] += 1
+                    chosen = unmarked[np.argsort(seq[unmarked])[:cap]]
+                    c.marked[chosen] = True
+                    c.n_marked += int(chosen.size)
+                    if c.rotate:
+                        seq[chosen] = np.arange(
+                            c.next_seq,
+                            c.next_seq + chosen.size,
+                            dtype=np.int64,
+                        )
+                        c.next_seq += int(chosen.size)
+                    for r in chosen.tolist():
+                        jid = jids[r]
+                        row = out.get(jid)
+                        if row is None:
+                            row = out[jid] = np.zeros(k, dtype=np.int64)
+                        row[alpha] = 1
+                continue
+            # DEQ step (closing any open cycle): unmarked actives plus
+            # the first min(|Q'|, cap - |Q|) marked actives, queue order.
+            mact = act[act_marked]
+            take = min(int(mact.size), cap - int(unmarked.size))
+            closing = c.n_marked > 0
+            if closing:
+                c.transitions["rr_to_deq"] += 1
+                c.marked[:] = False
+                c.n_marked = 0
+            if unmarked.size:
+                part = unmarked[np.argsort(seq[unmarked])]
+            else:
+                part = unmarked
+            if take > 0:
+                m_sorted = mact[np.argsort(seq[mact])][:take]
+                part = np.concatenate([part, m_sorted])
+            if part.size == 0:
+                continue
+            part_list = part.tolist()
+            col = desire_matrix[part, alpha].tolist()
+            queue = [jids[r] for r in part_list]
+            alloc = deq_allocate(queue, dict(zip(queue, col)), cap)
+            rowpos = dict(zip(queue, part_list))
+            served_rows: list[int] = []
+            for jid, a in alloc.items():
+                if a:
+                    row = out.get(jid)
+                    if row is None:
+                        row = out[jid] = np.zeros(k, dtype=np.int64)
+                    row[alpha] = a
+                    served_rows.append(rowpos[jid])
+            if closing and c.rotate and served_rows:
+                sr = np.asarray(served_rows, dtype=np.intp)
+                sr = sr[np.argsort(seq[sr])]
+                seq[sr] = np.arange(
+                    c.next_seq, c.next_seq + sr.size, dtype=np.int64
+                )
+                c.next_seq += int(sr.size)
+        return out
+
+    # ------------------------------------------------------------------
+    def allocate_matrix(
+        self, desire_matrix: np.ndarray, capacities
+    ) -> np.ndarray:
+        """Like :meth:`allocate`, returning an ``(n, K)`` allotment matrix.
+
+        Identical allocation values and state evolution; used by the fast
+        engine's lean execution path, where no consumer needs the dict
+        form (and hence its insertion order).  DEQ rounds still run
+        through :func:`deq_allocate` so per-job integer remainders match
+        the reference bit-for-bit.
+        """
+        n = len(self.jids)
+        k = len(self._cats)
+        A = np.zeros((n, k), dtype=np.int64)
+        if n == 0:
+            for c in self._cats:
+                if c.n_marked:
+                    c.transitions["rr_to_deq"] += 1
+                    c.marked[:] = False
+                    c.n_marked = 0
+            return A
+        active_mask = desire_matrix > 0
+        jids = self.jids
+        for alpha, c in enumerate(self._cats):
+            cap = int(capacities[alpha])
+            act = np.flatnonzero(active_mask[:, alpha])
+            if act.size == 0:
+                if c.n_marked:
+                    c.transitions["rr_to_deq"] += 1
+                    c.marked[:] = False
+                    c.n_marked = 0
+                continue
+            seq = c.seq
+            act_marked = c.marked[act]
+            unmarked = act[~act_marked]
+            if unmarked.size > cap:
+                if cap > 0:
+                    if c.n_marked == 0:
+                        c.transitions["deq_to_rr"] += 1
+                    chosen = unmarked[np.argsort(seq[unmarked])[:cap]]
+                    c.marked[chosen] = True
+                    c.n_marked += int(chosen.size)
+                    if c.rotate:
+                        seq[chosen] = np.arange(
+                            c.next_seq,
+                            c.next_seq + chosen.size,
+                            dtype=np.int64,
+                        )
+                        c.next_seq += int(chosen.size)
+                    A[chosen, alpha] = 1
+                continue
+            mact = act[act_marked]
+            take = min(int(mact.size), cap - int(unmarked.size))
+            closing = c.n_marked > 0
+            if closing:
+                c.transitions["rr_to_deq"] += 1
+                c.marked[:] = False
+                c.n_marked = 0
+            if unmarked.size:
+                part = unmarked[np.argsort(seq[unmarked])]
+            else:
+                part = unmarked
+            if take > 0:
+                m_sorted = mact[np.argsort(seq[mact])][:take]
+                part = np.concatenate([part, m_sorted])
+            if part.size == 0:
+                continue
+            part_list = part.tolist()
+            col = desire_matrix[part, alpha].tolist()
+            queue = [jids[r] for r in part_list]
+            alloc = deq_allocate(queue, dict(zip(queue, col)), cap)
+            rowpos = dict(zip(queue, part_list))
+            served_rows: list[int] = []
+            for jid, a in alloc.items():
+                if a:
+                    A[rowpos[jid], alpha] = a
+                    served_rows.append(rowpos[jid])
+            if closing and c.rotate and served_rows:
+                sr = np.asarray(served_rows, dtype=np.intp)
+                sr = sr[np.argsort(seq[sr])]
+                seq[sr] = np.arange(
+                    c.next_seq, c.next_seq + sr.size, dtype=np.int64
+                )
+                c.next_seq += int(sr.size)
+        return A
+
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """True when no category has an open round-robin cycle — a fully
+        satisfied allocation then repeats verbatim (the fast engine's
+        steady-span precondition)."""
+        return all(c.n_marked == 0 for c in self._cats)
+
+    def on_resize(self, old_capacities, new_capacities) -> None:
+        for alpha, c in enumerate(self._cats):
+            old, new = int(old_capacities[alpha]), int(new_capacities[alpha])
+            if new == old or c.n_marked == 0:
+                continue
+            c.transitions["rebatch" if new < old else "absorb"] += 1
+
+    def category_dict(self, alpha: int) -> dict:
+        """Materialise one category into RadCategoryState.state_dict form."""
+        c = self._cats[alpha]
+        order = [self.jids[i] for i in np.argsort(c.seq).tolist()]
+        marked = sorted(
+            self.jids[i] for i in np.flatnonzero(c.marked).tolist()
+        )
+        return {
+            "order": order,
+            "marked": marked,
+            "rotate": c.rotate,
+            "transitions": dict(c.transitions),
+        }
+
+    def category_view(self, alpha: int) -> _BatchCategoryView:
+        return _BatchCategoryView(self, alpha)
 
 
 class KRad(Scheduler):
@@ -39,6 +391,7 @@ class KRad(Scheduler):
         super().__init__()
         self._rotate = bool(rotate)
         self._states: list[RadCategoryState] = []
+        self._batch: KRadBatch | None = None
 
     def reset(self, machine: KResourceMachine) -> None:
         super().reset(machine)
@@ -46,9 +399,16 @@ class KRad(Scheduler):
             RadCategoryState(rotate=self._rotate)
             for _ in range(machine.num_categories)
         ]
+        self._batch = None
 
-    def category_state(self, alpha: int) -> RadCategoryState:
-        """Inspect one category's RAD state (tests/diagnostics)."""
+    def category_state(self, alpha: int):
+        """Inspect one category's RAD state (tests/diagnostics/monitors).
+
+        While a batch is active this returns a live read-only view of the
+        vectorised state with the same introspection surface.
+        """
+        if self._batch is not None:
+            return self._batch.category_view(alpha)
         return self._states[alpha]
 
     def notify_capacity_change(self, old_capacities, new_capacities):
@@ -60,6 +420,9 @@ class KRad(Scheduler):
         its migration ledger — see
         :meth:`~repro.schedulers.rad.RadCategoryState.on_resize`.
         """
+        if self._batch is not None:
+            self._batch.on_resize(old_capacities, new_capacities)
+            return
         for alpha, state in enumerate(self._states):
             state.on_resize(
                 int(old_capacities[alpha]), int(new_capacities[alpha])
@@ -67,12 +430,22 @@ class KRad(Scheduler):
 
     def churn_transitions(self) -> list[dict[str, int]]:
         """Per-category DEQ<->RR transition counts (diagnostics)."""
+        if self._batch is not None:
+            return [dict(c.transitions) for c in self._batch._cats]
         return [s.transitions for s in self._states]
 
     def state_dict(self) -> dict:
+        if self._batch is not None:
+            return {
+                "states": [
+                    self._batch.category_dict(alpha)
+                    for alpha in range(len(self._states))
+                ]
+            }
         return {"states": [s.state_dict() for s in self._states]}
 
     def load_state_dict(self, state: dict) -> None:
+        self._batch = None
         states = state["states"]
         if len(states) != len(self._states):
             raise ValueError(
@@ -82,7 +455,35 @@ class KRad(Scheduler):
         for s, data in zip(self._states, states):
             s.load_state_dict(data)
 
+    # ------------------------------------------------------------------
+    # batch (vectorised) entry point
+    # ------------------------------------------------------------------
+    def begin_batch(self, jids) -> KRadBatch:
+        """Switch to the row-aligned vectorised state form.
+
+        ``jids`` is the engine's live-job list in arrival order.  The
+        returned :class:`KRadBatch` owns the state until :meth:`reset`,
+        :meth:`load_state_dict` or a classic :meth:`allocate` call ends
+        batch mode (materialising the state back first).
+        """
+        self._batch = KRadBatch(self, jids)
+        return self._batch
+
+    def _end_batch(self) -> None:
+        """Materialise batch state back into the canonical list form."""
+        if self._batch is None:
+            return
+        batch = self._batch
+        self._batch = None
+        for alpha, state in enumerate(self._states):
+            state.load_state_dict(batch.category_dict(alpha))
+
+    # ------------------------------------------------------------------
     def allocate(self, t, desires, jobs=None):
+        if self._batch is not None:
+            # A classic call while a batch is active (e.g. a tool driving
+            # the scheduler directly): fall back coherently.
+            self._end_batch()
         machine = self.machine
         k = machine.num_categories
         # Sparse output: jobs with an all-zero allotment are omitted (the
@@ -90,11 +491,23 @@ class KRad(Scheduler):
         # proportional to the number of *served* jobs.
         out: dict[int, np.ndarray] = {}
         alive = desires.keys()
+        # One tolist() per job instead of K numpy-scalar extractions per
+        # job, and per-category desire maps holding only the alpha-active
+        # jobs: profiling showed the K*n `int(d[alpha])` rescan — mostly
+        # over jobs with zero alpha-desire — dominating large-K runs.
+        # RadCategoryState reads desires via .get(j, 0) and only for
+        # active jobs, so dropping the zero entries is behaviour-neutral.
+        flats: list[dict[int, int]] = [{} for _ in range(k)]
+        for jid, d in desires.items():
+            row = d.tolist() if hasattr(d, "tolist") else list(d)
+            for alpha in range(k):
+                v = row[alpha]
+                if v:
+                    flats[alpha][jid] = int(v)
         for alpha, state in enumerate(self._states):
             state.register(alive)
             state.prune(alive)
-            flat = {jid: int(d[alpha]) for jid, d in desires.items()}
-            alloc = state.allocate(flat, machine.capacity(alpha))
+            alloc = state.allocate(flats[alpha], machine.capacity(alpha))
             for jid, a in alloc.items():
                 if a:
                     row = out.get(jid)

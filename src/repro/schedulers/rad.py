@@ -61,6 +61,11 @@ class RadCategoryState:
 
     def register(self, job_ids) -> None:
         """Add newly arrived jobs (in the given order) to the queue back."""
+        if self._seen.issuperset(job_ids):
+            # No newcomers: skip the per-job membership loop.  This runs
+            # once per category per step, so the O(n) Python scan showed
+            # up in large-K profiles even on arrival-free steps.
+            return
         for jid in job_ids:
             if jid not in self._seen:
                 self._seen.add(jid)

@@ -1,6 +1,21 @@
 """Discrete-time K-resource simulation engine."""
 
-from repro.sim.engine import Simulator, simulate
+from repro.sim.conformance import (
+    ConformanceReport,
+    assert_conformant,
+    result_fingerprint,
+    run_conformance,
+    trace_fingerprint,
+)
+from repro.sim.engine import (
+    ENGINE_NAMES,
+    Simulator,
+    engine_class,
+    get_default_engine,
+    set_default_engine,
+    simulate,
+)
+from repro.sim.fastengine import FastSimulator
 from repro.sim.faults import (
     CompositeFaultModel,
     FaultModel,
@@ -54,8 +69,18 @@ __all__ = [
     "slowdowns",
     "summarize_result",
     "summarize_robustness",
+    "ENGINE_NAMES",
+    "ConformanceReport",
+    "FastSimulator",
     "Simulator",
+    "assert_conformant",
+    "engine_class",
+    "get_default_engine",
+    "result_fingerprint",
+    "run_conformance",
+    "set_default_engine",
     "simulate",
+    "trace_fingerprint",
     "SimulationResult",
     "RetryPolicy",
     "PlacedTask",

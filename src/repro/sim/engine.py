@@ -70,7 +70,19 @@ from repro.sim.results import SimulationResult
 from repro.sim.supervisor import Incident, StepView, Supervisor
 from repro.sim.trace import StepRecord, Trace
 
-__all__ = ["Simulator", "simulate"]
+__all__ = [
+    "ENGINE_NAMES",
+    "Simulator",
+    "engine_class",
+    "get_default_engine",
+    "set_default_engine",
+    "simulate",
+]
+
+#: the selectable simulation substrates (``simulate(..., engine=...)``)
+ENGINE_NAMES = ("reference", "fast")
+
+_DEFAULT_ENGINE = "reference"
 
 _CHECKPOINT_VERSION = 2
 
@@ -113,6 +125,45 @@ _ENGINE_KEYS = (
     "incidents",
     "quarantined_ids",
 )
+
+
+def engine_class(name: str | None = None) -> "type[Simulator]":
+    """Resolve an engine name to its :class:`Simulator` class.
+
+    ``"reference"`` is the canonical step loop below; ``"fast"`` is the
+    vectorised drop-in in :mod:`repro.sim.fastengine`, proven bit-identical
+    by the differential conformance suite.  ``None`` uses the process-wide
+    default (see :func:`set_default_engine`).
+    """
+    if name is None:
+        name = _DEFAULT_ENGINE
+    if name == "reference":
+        return Simulator
+    if name == "fast":
+        from repro.sim.fastengine import FastSimulator
+
+        return FastSimulator
+    raise SimulationError(
+        f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
+    )
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide engine used when ``engine`` is not given.
+
+    The CLI's ``--engine`` flag routes through here so every
+    ``simulate()`` call in an experiment picks up the selection.
+    """
+    global _DEFAULT_ENGINE
+    if name not in ENGINE_NAMES:
+        raise SimulationError(
+            f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
+        )
+    _DEFAULT_ENGINE = name
+
+
+def get_default_engine() -> str:
+    return _DEFAULT_ENGINE
 
 
 class _RunState:
@@ -236,6 +287,9 @@ class Simulator:
         exceeding it aborts the run — the safety valve for a machine that
         never recovers.
     """
+
+    #: engine identifier reported by diagnostics (the fast engine overrides)
+    engine_name = "reference"
 
     def __init__(
         self,
@@ -535,7 +589,13 @@ class Simulator:
                 t, caps_t, desires, allotments, executed
             )
 
-        if progress == 0 and desires:
+        if progress == 0 and desires and any(
+            d.any() for d in desires.values()
+        ):
+            # The activity test is only evaluated on zero-progress steps,
+            # so it costs nothing on the hot path; a step where every live
+            # job reports an all-zero desire (e.g. warm-up phases) is
+            # quiescent, not a work-conservation violation.
             if not self._faulty:
                 raise SimulationError(
                     f"step {t}: scheduler {scheduler.name!r} executed "
@@ -561,12 +621,18 @@ class Simulator:
             self._on_step(t, st.alive)
 
         completions: list[int] = []
-        for jid in list(st.alive):
-            if st.alive[jid].is_complete:
-                st.alive[jid].completion_time = t
-                st.completion[jid] = t
-                completions.append(jid)
-                del st.alive[jid]
+        if executed:
+            # A live job can only become complete by executing (jobs that
+            # are complete on entry are rejected up front, and faults only
+            # roll work back), so the completion scan is restricted to the
+            # jobs that ran this step — while still iterating the live
+            # dict so the completions tuple keeps arrival order.
+            for jid in list(st.alive):
+                if jid in executed and st.alive[jid].is_complete:
+                    st.alive[jid].completion_time = t
+                    st.completion[jid] = t
+                    completions.append(jid)
+                    del st.alive[jid]
         if completions:
             st.makespan = t
 
@@ -976,7 +1042,7 @@ class Simulator:
         sim = cls(
             machine,
             scheduler,
-            JobSet(pending),
+            JobSet(pending, num_categories=machine.num_categories),
             policy=policy,
             record_trace=data["trace"] is not None,
             max_steps=eng["max_steps"],
@@ -1215,15 +1281,21 @@ def simulate(
     churn: ChurnSchedule | None = None,
     journal=None,
     max_stall_steps: int = 1000,
+    engine: str | None = None,
 ) -> SimulationResult:
     """One-call convenience: run ``jobset`` under ``scheduler``.
 
     With ``fresh=True`` (default) the job set is copied first, so the same
     ``JobSet`` can be fed to several schedulers for comparison.
+
+    ``engine`` picks the substrate: ``"reference"`` (the canonical step
+    loop), ``"fast"`` (the vectorised engine of
+    :mod:`repro.sim.fastengine` — bit-identical results, see
+    :mod:`repro.sim.conformance`), or ``None`` for the process default.
     """
     if fresh:
         jobset = jobset.fresh_copy()
-    return Simulator(
+    return engine_class(engine)(
         machine,
         scheduler,
         jobset,

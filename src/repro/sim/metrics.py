@@ -83,6 +83,10 @@ class MetricsSummary:
         "RT fairness",
     ]
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form (conformance comparison, artifact dumps)."""
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
 
 def reallocation_volume(trace) -> dict[str, float]:
     """Scheduling churn: how much the allotment map moves between steps.
@@ -157,6 +161,10 @@ class RobustnessSummary:
         "stall steps",
         "longest stall",
     ]
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (conformance comparison, artifact dumps)."""
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
 
 
 def summarize_robustness(result: SimulationResult) -> RobustnessSummary:

@@ -10,6 +10,8 @@ processors ``0..P_alpha-1`` in job order.  Traces feed the validity checker
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
@@ -56,6 +58,38 @@ class StepRecord:
         jobs, wasted executions included)."""
         return sum(len(tasks[category]) for tasks in self.executed.values())
 
+    def content(self) -> dict:
+        """Canonical JSON-able form of the record, key order included.
+
+        Dict iteration order is part of the recorded schedule (it is the
+        order the scheduler saw and served jobs), so it is preserved as
+        explicit ``[key, value]`` pair lists rather than JSON objects —
+        two records with the same mappings in different orders digest
+        differently, which is exactly what differential conformance
+        needs to detect.
+        """
+        return {
+            "t": self.t,
+            "desires": [
+                [jid, d.tolist()] for jid, d in self.desires.items()
+            ],
+            "allotments": [
+                [jid, np.asarray(a).tolist()]
+                for jid, a in self.allotments.items()
+            ],
+            "executed": [
+                [jid, [list(ids) for ids in per_cat]]
+                for jid, per_cat in self.executed.items()
+            ],
+            "arrivals": list(self.arrivals),
+            "completions": list(self.completions),
+            "failed": [
+                [jid, [list(ids) for ids in per_cat]]
+                for jid, per_cat in self.failed.items()
+            ],
+            "killed": list(self.killed),
+        }
+
     def failed_count(self, category: int) -> int:
         """Units of ``category``-work wasted to task failures this step."""
         return sum(len(tasks[category]) for tasks in self.failed.values())
@@ -99,6 +133,29 @@ class Trace:
 
     def __iter__(self) -> Iterator[StepRecord]:
         return iter(self.steps)
+
+    def step_digests(self) -> list[str]:
+        """Per-step SHA-256 hex digests of the canonical step content.
+
+        The golden-trace corpus under ``tests/golden/`` stores these, so
+        a behavioural regression is pinned to the first diverging step
+        rather than a whole-trace mismatch.
+        """
+        out = []
+        for rec in self.steps:
+            payload = json.dumps(
+                rec.content(), separators=(",", ":"), sort_keys=True
+            )
+            out.append(hashlib.sha256(payload.encode()).hexdigest())
+        return out
+
+    def content_digest(self) -> str:
+        """One SHA-256 hex digest over the whole recorded schedule."""
+        h = hashlib.sha256()
+        h.update(f"{self.num_categories}|{self.capacities}".encode())
+        for d in self.step_digests():
+            h.update(d.encode())
+        return h.hexdigest()
 
     def last_kill_steps(self) -> dict[int, int]:
         """``job_id -> last step it was killed at`` (empty if no kills)."""

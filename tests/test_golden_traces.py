@@ -1,0 +1,130 @@
+"""Golden-trace corpus: canonical scenarios pinned step by step.
+
+Each scenario's recorded schedule is reduced to per-step SHA-256 digests
+(:meth:`repro.sim.trace.Trace.step_digests`) committed under
+``tests/golden/``.  The guard re-runs the scenario on **both** engines
+and compares against the stored digests, so any behavioural drift —
+reference regression or fast-engine divergence — is pinned to the first
+differing step rather than a vague end-to-end mismatch.
+
+Regenerate after an *intentional* behaviour change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_traces.py
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.dag.builders import figure1_job
+from repro.dag.lowerbound import figure3_instance
+from repro.jobs import JobSet, workloads
+from repro.machine import KResourceMachine
+from repro.schedulers import KRad
+from repro.sim import ENGINE_NAMES, simulate
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+
+def _fig1():
+    machine = KResourceMachine((2, 2, 1))
+    jobset = JobSet.from_dags([figure1_job()])
+    return machine, jobset
+
+
+def _fig3():
+    caps = (2, 3)
+    machine = KResourceMachine(caps)
+    inst = figure3_instance(2, caps)
+    jobset = JobSet.from_dags(inst.dags)
+    return machine, jobset
+
+
+def _thm3_cell():
+    """One cell of the THM3 makespan sweep: phase backend, batched."""
+    machine = KResourceMachine((4, 2))
+    rng = np.random.default_rng(0)
+    jobset = workloads.random_phase_jobset(rng, 2, 16, max_work=30)
+    return machine, jobset
+
+
+def _thm5_cell():
+    """One cell of the THM5 light-workload response-time sweep."""
+    machine = KResourceMachine((6, 4))
+    rng = np.random.default_rng(0)
+    jobset = workloads.light_phase_jobset(rng, machine, 4)
+    return machine, jobset
+
+
+SCENARIOS = {
+    "fig1": _fig1,
+    "fig3": _fig3,
+    "thm3_cell": _thm3_cell,
+    "thm5_cell": _thm5_cell,
+}
+
+
+def _run(name, engine):
+    machine, jobset = SCENARIOS[name]()
+    result = simulate(
+        machine,
+        KRad(machine),
+        jobset,
+        seed=0,
+        record_trace=True,
+        engine=engine,
+    )
+    return {
+        "scenario": name,
+        "makespan": result.makespan,
+        "num_steps": len(result.trace.steps),
+        "step_digests": result.trace.step_digests(),
+        "content_digest": result.trace.content_digest(),
+    }
+
+
+def _golden_path(name):
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_golden_trace(name, engine):
+    payload = _run(name, engine)
+    path = _golden_path(name)
+    if REGEN and engine == "reference":
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    with open(path, encoding="utf-8") as fh:
+        golden = json.load(fh)
+    assert payload["makespan"] == golden["makespan"], (
+        f"{name}/{engine}: makespan {payload['makespan']} != golden "
+        f"{golden['makespan']}"
+    )
+    for i, (got, want) in enumerate(
+        zip(payload["step_digests"], golden["step_digests"])
+    ):
+        assert got == want, (
+            f"{name}/{engine}: first divergence from the golden trace at "
+            f"step index {i} ({got[:12]} != {want[:12]})"
+        )
+    assert payload["num_steps"] == golden["num_steps"]
+    assert payload["content_digest"] == golden["content_digest"]
+
+
+def test_golden_corpus_complete():
+    """Every scenario has a committed golden file (catches regen skips)."""
+    missing = [
+        name
+        for name in SCENARIOS
+        if not os.path.exists(_golden_path(name))
+    ]
+    assert not missing, (
+        f"golden files missing for {missing}; run with "
+        "REPRO_REGEN_GOLDEN=1 to create them"
+    )
