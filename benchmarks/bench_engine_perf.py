@@ -60,6 +60,32 @@ def test_perf_cell_256jobs_k8(benchmark, engine):
 
 
 @pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_perf_cell_256jobs_k8_obs(benchmark, engine):
+    """The headline cell with metrics observability attached.
+
+    ``compare_bench.py`` gates the fast engine's obs-on/obs-off ratio
+    on this pair (default <= 1.10): the metrics layer must stay cheap
+    enough to leave on in production sweeps.
+    """
+    from repro.obs import Observability
+
+    machine = KResourceMachine((8,) * 8)
+    rng = np.random.default_rng(0)
+    js = workloads.random_phase_jobset(rng, 8, 256, max_work=20)
+    result = benchmark(
+        lambda: simulate(
+            machine,
+            KRad(),
+            js,
+            seed=0,
+            engine=engine,
+            obs=Observability(),
+        )
+    )
+    assert result.num_jobs == 256
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
 def test_large_dag_unfolding(benchmark, engine):
     """A single 10k-vertex mesh job through the full engine."""
     machine = KResourceMachine((16, 16))

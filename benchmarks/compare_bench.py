@@ -1,6 +1,6 @@
 """Gate a pytest-benchmark JSON run against perf requirements.
 
-Two checks, both on ``--benchmark-json`` output from
+Three checks on ``--benchmark-json`` output from
 ``benchmarks/bench_engine_perf.py``:
 
 1. **Same-run speedup** — on the headline 256-job / K=8 PERF cell the
@@ -8,19 +8,31 @@ Two checks, both on ``--benchmark-json`` output from
    faster than the reference engine *measured in the same run*, so the
    gate is immune to host-speed differences.
 
-2. **Baseline regression** — when a baseline JSON is given, each cell's
+2. **Observability overhead** — when the run includes the ``_obs``
+   twin of the headline cell, the fast engine with metrics attached
+   must stay within ``--max-obs-overhead`` (default 0.10, i.e. <= 10%
+   slower) of the plain fast cell from the same run, compared on each
+   cell's round *minimum* so shared-host noise can't fail the gate.
+
+3. **Baseline regression** — when a baseline JSON is given, each cell's
    mean is compared against the committed baseline.  Host speed varies
    between CI runners, so raw ratios are first normalised by the median
    ratio across all cells (a uniformly 2x-slower machine has scale 2 and
    passes); any cell slower than ``--max-regression`` (default 1.25)
-   times the normalised baseline fails.
+   times the normalised baseline fails.  Cells absent from the baseline
+   (e.g. the ``_obs`` twins) are gate 2's concern, not a mismatch.
 
-Stdlib only — runs anywhere the repo does, no pip installs.
+Stdlib only — runs anywhere the repo does, no pip installs.  The one
+exception is ``--phase-profile``, which imports ``repro`` (run it with
+``PYTHONPATH=src``) to execute the headline cell once per engine under
+a profiling observability and print where each engine spends its time —
+the attribution behind the speedup the gate asserts.
 
 Usage::
 
     python benchmarks/compare_bench.py BENCH_engine.json \
         --baseline benchmarks/BENCH_engine.baseline.json
+    PYTHONPATH=src python benchmarks/compare_bench.py --phase-profile
 """
 
 import argparse
@@ -33,9 +45,14 @@ HEADLINE = "test_perf_cell_256jobs_k8"
 
 def load_means(path):
     """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    return load_stat(path, "mean")
+
+
+def load_stat(path, stat):
+    """Map benchmark name -> the chosen stat from a pytest-benchmark JSON."""
     with open(path, encoding="utf-8") as fh:
         data = json.load(fh)
-    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+    return {b["name"]: b["stats"][stat] for b in data["benchmarks"]}
 
 
 def check_speedup(means, min_speedup):
@@ -58,6 +75,62 @@ def check_speedup(means, min_speedup):
             f"{HEADLINE} (required >= {min_speedup:.2f}x)"
         ]
     return []
+
+
+def check_overhead(mins, max_obs_overhead):
+    """Gate the fast engine's obs-on/obs-off ratio.
+
+    Compares the ``min`` statistic, not the mean: the overhead being
+    gated is a deterministic per-step cost, while means on shared CI
+    hosts carry scheduler-noise tails far larger than the 10% budget —
+    the minimum of each cell's rounds cancels that noise.
+    """
+    plain = mins.get(f"{HEADLINE}[fast]")
+    obs = mins.get(f"{HEADLINE}_obs[fast]")
+    if obs is None:
+        print("obs overhead cell not in this run; skipping gate")
+        return []
+    if plain is None:
+        return [
+            f"{HEADLINE}_obs[fast] present but {HEADLINE}[fast] missing; "
+            "cannot compute obs overhead"
+        ]
+    ratio = obs / plain
+    print(
+        f"obs overhead {HEADLINE}[fast]: plain {plain * 1e3:.1f} ms, "
+        f"with metrics {obs * 1e3:.1f} ms (round minima) -> "
+        f"{(ratio - 1) * 100:+.1f}% "
+        f"(allowed <= {max_obs_overhead * 100:.0f}%)"
+    )
+    if ratio > 1.0 + max_obs_overhead:
+        return [
+            f"observability adds {(ratio - 1) * 100:.1f}% to the fast "
+            f"engine on {HEADLINE} "
+            f"(limit {max_obs_overhead * 100:.0f}%)"
+        ]
+    return []
+
+
+def phase_profile():
+    """Run the headline cell per engine with profiling obs and print
+    where the time goes (requires ``repro`` importable)."""
+    import numpy as np
+
+    from repro.jobs import workloads
+    from repro.machine import KResourceMachine
+    from repro.obs import Observability
+    from repro.schedulers import KRad
+    from repro.sim import ENGINE_NAMES, simulate
+
+    for engine in ENGINE_NAMES:
+        machine = KResourceMachine((8,) * 8)
+        rng = np.random.default_rng(0)
+        js = workloads.random_phase_jobset(rng, 8, 256, max_work=20)
+        obs = Observability(profile=True)
+        simulate(machine, KRad(), js, seed=0, engine=engine, obs=obs)
+        print(f"\n{HEADLINE} [{engine}] phase attribution:")
+        print(obs.profiler.report())
+    return 0
 
 
 def check_baseline(means, base_means, max_regression):
@@ -92,16 +165,44 @@ def check_baseline(means, base_means, max_regression):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="benchmark JSON from this run")
+    parser.add_argument(
+        "current", nargs="?", help="benchmark JSON from this run"
+    )
     parser.add_argument(
         "--baseline", help="committed baseline JSON to compare against"
     )
     parser.add_argument("--min-speedup", type=float, default=5.0)
     parser.add_argument("--max-regression", type=float, default=1.25)
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown of the fast engine with "
+        "metrics observability attached (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--phase-profile",
+        action="store_true",
+        help="run the headline cell per engine under a profiling "
+        "observability and print per-phase attribution (needs repro "
+        "importable, e.g. PYTHONPATH=src)",
+    )
     args = parser.parse_args(argv)
 
+    if args.phase_profile:
+        return phase_profile()
+    if args.current is None:
+        parser.error("a benchmark JSON is required unless --phase-profile")
+
     means = load_means(args.current)
-    failures = check_speedup(means, args.min_speedup)
+    failures = []
+    if args.min_speedup > 0:
+        failures += check_speedup(means, args.min_speedup)
+    else:
+        print("speedup gate disabled (--min-speedup 0)")
+    failures += check_overhead(
+        load_stat(args.current, "min"), args.max_obs_overhead
+    )
     if args.baseline:
         failures += check_baseline(
             means, load_means(args.baseline), args.max_regression

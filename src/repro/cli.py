@@ -100,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write --out as JSON lines (one report object per line)",
     )
     _add_engine_argument(parser)
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -114,6 +115,70 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         "specification; default) or 'fast' (vectorised, bit-identical "
         "results)",
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="FILE",
+        help="write aggregated run metrics to FILE in Prometheus text "
+        "exposition format",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="stream per-step observability events to FILE as JSON lines",
+    )
+
+
+def _install_obs(args):
+    """Build + install the process-default Observability, if requested.
+
+    Returns the bundle (or ``None``); telemetry is read-only, so results
+    are identical with or without these flags (see docs/OBSERVABILITY.md).
+    """
+    if args.obs_out is None and args.events_out is None:
+        return None
+    from repro.obs import Observability, set_default_obs
+
+    obs = Observability(events_path=args.events_out)
+    set_default_obs(obs)
+    return obs
+
+
+def _abort_obs(obs) -> None:
+    """Tear down an installed Observability without exporting (error path)."""
+    if obs is None:
+        return
+    from repro.obs import set_default_obs
+
+    set_default_obs(None)
+    obs.close()
+
+
+def _finish_obs(obs, args, prog: str) -> int:
+    """Export and tear down what :func:`_install_obs` set up."""
+    if obs is None:
+        return 0
+    from repro.obs import set_default_obs
+
+    set_default_obs(None)
+    obs.close()
+    if args.obs_out is not None:
+        try:
+            obs.write_prometheus(args.obs_out)
+        except OSError as exc:
+            print(
+                f"{prog}: cannot write {args.obs_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"metrics: {args.obs_out}")
+    if args.events_out is not None:
+        print(f"events: {args.events_out}")
+    return 0
 
 
 def _run_one(
@@ -207,9 +272,9 @@ def _build_faults_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-attempts",
         type=int,
-        default=3,
-        help="execution attempts per killed job (with backoff); 1 = no "
-        "retry",
+        default=None,
+        help="execution attempts per killed job (with backoff; default 3); "
+        "1 = no retry.  Only meaningful with --kill-rate",
     )
     parser.add_argument(
         "--max-stall-steps",
@@ -224,6 +289,7 @@ def _build_faults_parser() -> argparse.ArgumentParser:
         help="also append the rendered metrics table to FILE",
     )
     _add_engine_argument(parser)
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -247,6 +313,7 @@ def _faults_main(argv: list[str]) -> int:
     from repro.sim.faults import periodic_outage
 
     args = _build_faults_parser().parse_args(argv)
+    obs = None
     try:
         capacities = tuple(
             int(c) for c in args.capacities.split(",") if c.strip()
@@ -258,6 +325,13 @@ def _faults_main(argv: list[str]) -> int:
                 "--outage and --availability are mutually exclusive; "
                 "pick one capacity-fault mode"
             )
+        if args.max_attempts is not None and args.kill_rate <= 0:
+            raise ValueError(
+                "--max-attempts only governs killed-job retries; "
+                "it needs --kill-rate > 0"
+            )
+        max_attempts = args.max_attempts if args.max_attempts is not None else 3
+        obs = _install_obs(args)
 
         capacity_schedule = None
         if args.outage is not None:
@@ -295,8 +369,8 @@ def _faults_main(argv: list[str]) -> int:
             fault_model = CompositeFaultModel(models)
 
         retry_policy = (
-            RetryPolicy(max_attempts=args.max_attempts)
-            if fault_model is not None and args.max_attempts > 1
+            RetryPolicy(max_attempts=max_attempts)
+            if fault_model is not None and max_attempts > 1
             else None
         )
 
@@ -316,6 +390,9 @@ def _faults_main(argv: list[str]) -> int:
         )
     except Exception as exc:  # surface model errors as CLI errors
         print(f"krad faults: {exc}", file=sys.stderr)
+        _abort_obs(obs)
+        return 2
+    if _finish_obs(obs, args, "krad faults"):
         return 2
 
     s = summarize_robustness(result)
@@ -391,9 +468,10 @@ def _build_supervise_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--checkpoint-every",
         type=int,
-        default=25,
+        default=None,
         metavar="N",
-        help="full checkpoint record every N steps in the journal",
+        help="full checkpoint record every N steps in the journal "
+        "(default 25).  Only meaningful with --journal",
     )
     parser.add_argument(
         "--inject-violation",
@@ -403,6 +481,7 @@ def _build_supervise_parser() -> argparse.ArgumentParser:
         "to exercise the strict/resilient path",
     )
     _add_engine_argument(parser)
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -445,11 +524,19 @@ def _supervise_main(argv: list[str]) -> int:
     )
 
     args = _build_supervise_parser().parse_args(argv)
+    obs = None
     try:
         capacities = tuple(
             int(c) for c in args.capacities.split(",") if c.strip()
         )
         machine = KResourceMachine(capacities)
+
+        if args.checkpoint_every is not None and args.journal is None:
+            raise ValueError(
+                "--checkpoint-every sets the journal's checkpoint cadence; "
+                "it needs --journal FILE"
+            )
+        obs = _install_obs(args)
 
         monitors = default_monitors()
         if args.inject_violation is not None:
@@ -470,7 +557,14 @@ def _supervise_main(argv: list[str]) -> int:
                 capacities, _parse_churn_events(args.churn)
             )
         journal = (
-            Journal(args.journal, checkpoint_every=args.checkpoint_every)
+            Journal(
+                args.journal,
+                checkpoint_every=(
+                    args.checkpoint_every
+                    if args.checkpoint_every is not None
+                    else 25
+                ),
+            )
             if args.journal is not None
             else None
         )
@@ -491,9 +585,13 @@ def _supervise_main(argv: list[str]) -> int:
         ).run()
     except InvariantViolation as exc:
         print(f"krad supervise: {exc}", file=sys.stderr)
+        _abort_obs(obs)
         return 1
     except Exception as exc:  # surface model errors as CLI errors
         print(f"krad supervise: {exc}", file=sys.stderr)
+        _abort_obs(obs)
+        return 2
+    if _finish_obs(obs, args, "krad supervise"):
         return 2
 
     print(result.summary())
@@ -525,15 +623,21 @@ def _recover_main(argv: list[str]) -> int:
         "journal", help="journal file from 'krad supervise --journal'"
     )
     _add_engine_argument(parser)
+    _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
     from repro.sim import engine_class
 
+    obs = None
     try:
+        obs = _install_obs(args)
         sim = engine_class(args.engine).recover(args.journal)
         result = sim.run()
     except Exception as exc:
         print(f"krad recover: {exc}", file=sys.stderr)
+        _abort_obs(obs)
+        return 2
+    if _finish_obs(obs, args, "krad recover"):
         return 2
 
     print(f"recovered from {args.journal}")
@@ -556,35 +660,83 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "recover":
         return _recover_main(argv[1:])
     args = _build_parser().parse_args(argv)
+    target = args.experiment.upper()
+
+    # Reject flag combinations that would otherwise be silently ignored —
+    # a typo'd invocation should fail loudly, not drop half its options.
+    if args.markdown and args.json:
+        print(
+            "krad: --markdown and --json are mutually exclusive output "
+            "formats for --out",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.markdown or args.json) and not args.out:
+        flag = "--markdown" if args.markdown else "--json"
+        print(
+            f"krad: {flag} formats the --out file; pass --out FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if target == "LIST":
+        ignored = [
+            flag
+            for flag, value in (
+                ("--repeats", args.repeats),
+                ("--out", args.out),
+                ("--engine", args.engine),
+                ("--obs-out", args.obs_out),
+                ("--events-out", args.events_out),
+            )
+            if value is not None
+        ]
+        if ignored:
+            print(
+                f"krad: 'list' runs nothing; {', '.join(ignored)} "
+                "would be ignored",
+                file=sys.stderr,
+            )
+            return 2
+        for key in sorted(REGISTRY):
+            print(f"{key:8s} {_DESCRIPTIONS.get(key, '')}")
+        return 0
+
     if args.engine is not None:
         # experiments call simulate() internally; the flag routes every
         # run of this invocation through the chosen engine
         from repro.sim.engine import set_default_engine
 
         set_default_engine(args.engine)
-    target = args.experiment.upper()
-    if target == "LIST":
-        for key in sorted(REGISTRY):
-            print(f"{key:8s} {_DESCRIPTIONS.get(key, '')}")
-        return 0
-    if target == "ALL":
-        ok = True
-        for key in sorted(REGISTRY):
-            ok &= _run_one(
-                key, args.seed, args.repeats, args.out, args.markdown,
-                args.json,
-            )
-        print("ALL EXPERIMENTS PASSED" if ok else "SOME EXPERIMENTS FAILED")
-        return 0 if ok else 1
-    if target not in REGISTRY:
+    if target != "ALL" and target not in REGISTRY:
         print(
             f"unknown experiment {args.experiment!r}; try 'krad list'",
             file=sys.stderr,
         )
         return 2
-    return 0 if _run_one(
-        target, args.seed, args.repeats, args.out, args.markdown, args.json
-    ) else 1
+
+    obs = _install_obs(args)
+    try:
+        if target == "ALL":
+            ok = True
+            for key in sorted(REGISTRY):
+                ok &= _run_one(
+                    key, args.seed, args.repeats, args.out, args.markdown,
+                    args.json,
+                )
+            print(
+                "ALL EXPERIMENTS PASSED" if ok else "SOME EXPERIMENTS FAILED"
+            )
+        else:
+            ok = _run_one(
+                target, args.seed, args.repeats, args.out, args.markdown,
+                args.json,
+            )
+    except Exception:
+        _abort_obs(obs)
+        raise
+    if _finish_obs(obs, args, "krad"):
+        return 2
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,7 +42,7 @@ from repro.jobs import workloads
 from repro.machine.churn import ChurnEvent, ChurnSchedule
 from repro.machine.machine import KResourceMachine
 from repro.schedulers.krad import KRad
-from repro.sim.engine import Simulator
+from repro.sim.engine import engine_class
 from repro.theory import bounds
 
 __all__ = ["run"]
@@ -129,7 +129,10 @@ def run(
         transitions = {}
         for label, churn in _scenarios(capacities).items():
             sched = KRad()
-            sim = Simulator(
+            # engine_class (not Simulator directly) so `krad CHURN
+            # --engine fast` actually routes through the fast engine
+            # instead of silently falling back to the reference.
+            sim = engine_class()(
                 machine, sched, js.fresh_copy(), churn=churn
             )
             r = sim.run()

@@ -1,0 +1,68 @@
+"""Per-phase timing hooks for the simulation engines.
+
+:class:`PhaseProfiler` attributes engine wall time to the step loop's
+phases (arrivals, desires, allotment, execution, faults, supervision,
+bookkeeping for the reference engine; sync, allocate, execute,
+bookkeeping for the fast engine's fused loop), so
+``benchmarks/compare_bench.py --phase-profile`` can show *where* the
+fast engine's speedup comes from rather than just that it exists.
+
+The hooks are lap-based: the engine calls :meth:`lap` at each phase
+boundary and the elapsed time since the previous boundary is credited
+to the named phase.  Profiling is opt-in
+(``Observability(profile=True)``) — the default observability pays
+zero ``perf_counter`` calls for it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates wall time per named engine phase."""
+
+    __slots__ = ("totals", "counts", "_last")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._last = 0.0
+
+    def step_begin(self) -> None:
+        """Mark the start of a step (resets the lap clock)."""
+        self._last = perf_counter()
+
+    def lap(self, phase: str) -> None:
+        """Credit time since the previous boundary to ``phase``."""
+        now = perf_counter()
+        self.totals[phase] = self.totals.get(phase, 0.0) + now - self._last
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+        self._last = now
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "totals": dict(self.totals),
+            "counts": dict(self.counts),
+        }
+
+    def report(self) -> str:
+        """Human-readable attribution table, largest phase first."""
+        total = self.total or 1.0
+        lines = [f"{'phase':<14} {'total':>10} {'share':>7} {'calls':>9}"]
+        for phase in sorted(
+            self.totals, key=self.totals.get, reverse=True
+        ):
+            t = self.totals[phase]
+            lines.append(
+                f"{phase:<14} {t * 1e3:>8.2f}ms {t / total:>6.1%} "
+                f"{self.counts[phase]:>9d}"
+            )
+        lines.append(f"{'TOTAL':<14} {self.total * 1e3:>8.2f}ms")
+        return "\n".join(lines)

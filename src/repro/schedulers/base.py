@@ -83,6 +83,29 @@ class Scheduler(ABC):
         """
 
     # ------------------------------------------------------------------
+    # observability surface (read-only; never affects allocation)
+    # ------------------------------------------------------------------
+    def obs_rr_depths(self) -> list[int] | None:
+        """Per-category open round-robin cycle depths, or ``None``.
+
+        Schedulers with a DEQ/RR state machine (RAD, K-RAD) report how
+        many jobs are marked in each category's open cycle so the
+        observability layer can sample queue depth per step.  The
+        default ``None`` means "no such state" and records nothing.
+        """
+        return None
+
+    def obs_transitions(self) -> list[dict[str, int]] | None:
+        """Per-category DEQ<->RR transition totals, or ``None``.
+
+        Cumulative counts per transition kind (see
+        :attr:`~repro.schedulers.rad.RadCategoryState.TRANSITION_KINDS`);
+        the observability layer diffs consecutive snapshots to emit
+        transition events and exports the totals at run end.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # checkpoint surface
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:

@@ -434,6 +434,14 @@ class KRad(Scheduler):
             return [dict(c.transitions) for c in self._batch._cats]
         return [s.transitions for s in self._states]
 
+    def obs_rr_depths(self) -> list[int]:
+        if self._batch is not None:
+            return [c.n_marked for c in self._batch._cats]
+        return [len(s._marked) for s in self._states]
+
+    def obs_transitions(self) -> list[dict[str, int]]:
+        return self.churn_transitions()
+
     def state_dict(self) -> dict:
         if self._batch is not None:
             return {

@@ -242,6 +242,12 @@ class Rad(Scheduler):
             int(old_capacities[0]), int(new_capacities[0])
         )
 
+    def obs_rr_depths(self) -> list[int]:
+        return [len(self._state._marked)]
+
+    def obs_transitions(self) -> list[dict[str, int]]:
+        return [self._state.transitions]
+
     def allocate(self, t, desires, jobs=None):
         self._state.register(desires.keys())
         self._state.prune(desires.keys())

@@ -52,6 +52,7 @@ capacity schedule, churn schedule, fault model, retry policy, supervisor).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 
 import numpy as np
 
@@ -65,6 +66,7 @@ from repro.jobs.jobset import JobSet
 from repro.jobs.policies import FIFO, ExecutionPolicy
 from repro.machine.churn import ChurnSchedule
 from repro.machine.machine import KResourceMachine
+from repro.obs import Observability, get_default_obs
 from repro.schedulers.base import Scheduler, check_allotments
 from repro.sim.results import SimulationResult
 from repro.sim.supervisor import Incident, StepView, Supervisor
@@ -286,6 +288,12 @@ class Simulator:
         live (only reachable under capacity schedules / fault models);
         exceeding it aborts the run — the safety valve for a machine that
         never recovers.
+    obs:
+        Optional :class:`~repro.obs.Observability` telemetry bundle
+        (event bus + metrics + profiler).  ``None`` falls back to the
+        process default (:func:`repro.obs.set_default_obs`, what the
+        CLI's ``--obs-out`` installs).  Strictly read-only: traces,
+        digests and checkpoints are byte-identical with it on or off.
     """
 
     #: engine identifier reported by diagnostics (the fast engine overrides)
@@ -310,6 +318,7 @@ class Simulator:
         churn: ChurnSchedule | None = None,
         journal=None,
         max_stall_steps: int = 1000,
+        obs: Observability | None = None,
     ) -> None:
         if jobset.num_categories != machine.num_categories:
             raise SimulationError(
@@ -347,6 +356,17 @@ class Simulator:
         self._churn = churn
         self._journal = journal
         self._journal_started = False
+        # Observability is read-only telemetry: it never touches the RNG,
+        # the scheduler, job state, checkpoints or digests, so results
+        # are byte-identical with it on or off (tests/test_obs.py).
+        self._obs = obs if obs is not None else get_default_obs()
+        self._obs_w0 = 0.0
+        self._obs_prev_alloc: dict | list | None = None
+        self._obs_prev_trans: list[dict] | None = None
+        # memoised sum(last_caps): the tuple object only changes when
+        # capacity actually changes, so identity is the cache key
+        self._obs_caps_key: tuple | None = None
+        self._obs_caps_total = 0
         self._faulty = (
             capacity_schedule is not None
             or fault_model is not None
@@ -406,14 +426,21 @@ class Simulator:
             else None
         )
         self._state = st
+        if self._obs is not None:
+            self._obs.on_run_start(
+                engine=self.engine_name,
+                scheduler=self._scheduler.name,
+                capacities=self._machine.capacities,
+                num_jobs=len(jobs),
+            )
         if self._journal is not None and not self._journal_started:
             # Write-ahead header: run metadata (enough to rebuild the
             # supervisor/churn/policy on recovery) plus an immediate full
             # checkpoint, so even a journal torn on its first steps
             # restores to a well-defined state.
             self._journal_started = True
-            self._journal.append("meta", self._journal_meta())
-            self._journal.append("checkpoint", self.checkpoint())
+            self._journal_put("meta", self._journal_meta())
+            self._journal_put("checkpoint", self.checkpoint())
 
     def _unfinished(self) -> bool:
         st = self._state
@@ -495,6 +522,12 @@ class Simulator:
         machine = self._machine
         scheduler = self._scheduler
         st = self._state
+        obs = self._obs
+        prof = obs.profiler if obs is not None else None
+        if obs is not None:
+            self._obs_w0 = perf_counter()
+        if prof is not None:
+            prof.step_begin()
 
         st.t += 1
         t = st.t
@@ -528,6 +561,8 @@ class Simulator:
         for job in arriving:
             st.alive[job.job_id] = job
             arrivals.append(job.job_id)
+        if prof is not None:
+            prof.lap("arrivals")
 
         step_machine = machine
         caps_t = machine.capacities
@@ -562,13 +597,19 @@ class Simulator:
             # it on growth) instead of discovering the change implicitly.
             scheduler.notify_capacity_change(st.last_caps, caps_t)
             st.last_caps = caps_t
+        if prof is not None:
+            prof.lap("capacity")
 
         desires = {jid: job.desire_vector() for jid, job in st.alive.items()}
+        if prof is not None:
+            prof.lap("desires")
         allotments = scheduler.allocate(
             t, desires, jobs=st.alive if scheduler.clairvoyant else None
         )
         if self._validate:
             check_allotments(step_machine, desires, allotments)
+        if prof is not None:
+            prof.lap("allotment")
 
         executed: dict[int, list[list[int]]] = {}
         progress = 0
@@ -581,14 +622,21 @@ class Simulator:
             )
             st.busy += alloc
             progress += int(alloc.sum())
+        if prof is not None:
+            prof.lap("execution")
 
         failed, killed = self._inject_faults(t, executed)
+        if prof is not None:
+            prof.lap("faults")
 
         if self._supervisor is not None:
             self._supervise(
                 t, caps_t, desires, allotments, executed
             )
+        if prof is not None:
+            prof.lap("supervise")
 
+        stalled = False
         if progress == 0 and desires and any(
             d.any() for d in desires.values()
         ):
@@ -604,6 +652,7 @@ class Simulator:
                 )
             # A stall: live jobs, zero progress (e.g. every demanded
             # category dark).  Absorbed, counted, and bounded.
+            stalled = True
             st.stall_run += 1
             st.stall_steps += 1
             st.longest_stall = max(st.longest_stall, st.stall_run)
@@ -636,6 +685,17 @@ class Simulator:
         if completions:
             st.makespan = t
 
+        if obs is not None:
+            self._obs_step(
+                t,
+                desires,
+                allotments,
+                progress,
+                len(arrivals),
+                len(completions),
+                stalled,
+            )
+
         if st.trace is not None:
             st.trace.append(
                 StepRecord(
@@ -654,11 +714,13 @@ class Simulator:
             )
 
         if self._journal is not None:
-            self._journal.append(
+            self._journal_put(
                 "step", {"t": t, "digest": self.digest()}
             )
             if t % self._journal.checkpoint_every == 0 and self._unfinished():
-                self._journal.append("checkpoint", self.checkpoint())
+                self._journal_put("checkpoint", self.checkpoint())
+        if prof is not None:
+            prof.lap("bookkeeping")
 
     # ------------------------------------------------------------------
     def _supervise(
@@ -703,6 +765,14 @@ class Simulator:
                     action=action,
                 ).to_dict()
             )
+            if self._obs is not None:
+                self._obs.on_incident(
+                    t,
+                    monitor=v.monitor,
+                    job_id=v.job_id,
+                    action=action,
+                    message=v.message,
+                )
 
     # ------------------------------------------------------------------
     def _inject_faults(
@@ -744,6 +814,10 @@ class Simulator:
                 failed[jid] = norm
                 for alpha, tasks in enumerate(norm):
                     st.wasted[alpha] += len(tasks)
+                if self._obs is not None:
+                    self._obs.on_task_failures(
+                        t, jid, [len(tasks) for tasks in norm]
+                    )
 
         killed: list[int] = []
         if st.alive:
@@ -757,6 +831,8 @@ class Simulator:
                 st.wasted += (
                     job.work_vector() - job.remaining_work_vector()
                 ).astype(np.int64)
+                if self._obs is not None:
+                    self._obs.on_job_kill(t, jid)
                 attempt = st.attempts.get(jid, 1)
                 if (
                     self._retry_policy is not None
@@ -770,10 +846,16 @@ class Simulator:
                     heapq.heappush(
                         st.resubmit, (fresh.release_time, jid, fresh)
                     )
+                    if self._obs is not None:
+                        self._obs.on_retry(
+                            t, jid, attempt + 1, fresh.release_time
+                        )
                 else:
                     st.attempts.setdefault(jid, 1)
                     st.failed_jobs.append(jid)
                     st.release.pop(jid, None)
+                    if self._obs is not None:
+                        self._obs.on_job_failed(t, jid, attempt)
         return failed, killed
 
     # ------------------------------------------------------------------
@@ -807,14 +889,197 @@ class Simulator:
             ),
             quarantined_jobs=tuple(sorted(st.quarantined)),
         )
+        if self._obs is not None:
+            self._obs.on_run_end(
+                st.t,
+                makespan=st.makespan,
+                idle_steps=st.idle_steps,
+                completed=len(st.completion),
+                failed=len(st.failed_jobs),
+                quarantined=len(st.quarantined),
+                utilization=self._result.utilization_vector(),
+                transitions=self._scheduler.obs_transitions(),
+            )
         if self._journal is not None:
             # A journal without an end record is, by definition, a crash.
-            self._journal.append(
+            self._journal_put(
                 "end",
                 {"digest": final_digest, "makespan": st.makespan},
             )
             self._journal.close()
         return self._result
+
+    # ------------------------------------------------------------------
+    # observability (read-only telemetry; see repro.obs)
+    # ------------------------------------------------------------------
+    def _journal_put(self, record_type: str, data: dict) -> None:
+        """Journal append that also notifies the observability layer."""
+        self._journal.append(record_type, data)
+        if self._obs is not None:
+            self._obs.on_journal_record(
+                self._state.t if self._state is not None else 0,
+                record_type,
+            )
+
+    def _obs_step(
+        self,
+        t: int,
+        desires: dict,
+        allotments: dict,
+        progress: int,
+        n_arrivals: int,
+        n_completions: int,
+        stalled: bool,
+        desired_tot=None,
+    ) -> None:
+        """Per-step telemetry for dict-shaped step loops.
+
+        ``desired_tot`` lets the fast engine pass the pre-execution
+        column sums of its desire matrix (its dict form may not exist);
+        when omitted it is summed from ``desires``.
+        """
+        obs = self._obs
+        k = self._machine.num_categories
+        if desired_tot is None:
+            desired_tot = np.zeros(k, dtype=np.int64)
+            for d in desires.values():
+                desired_tot += np.asarray(d, dtype=np.int64)
+        allocated_tot = np.zeros(k, dtype=np.int64)
+        for a in allotments.values():
+            allocated_tot += np.asarray(a, dtype=np.int64)
+        realloc = self._obs_realloc_dict(allotments)
+        if obs.bus.active:
+            obs.bus.emit(
+                t,
+                "alloc",
+                allotments={
+                    int(jid): np.asarray(a).tolist()
+                    for jid, a in allotments.items()
+                },
+            )
+        self._obs_common(
+            t,
+            desired_tot,
+            allocated_tot,
+            realloc,
+            progress,
+            n_arrivals,
+            n_completions,
+            stalled,
+        )
+
+    def _obs_common(
+        self,
+        t: int,
+        desired_tot,
+        allocated_tot,
+        realloc: float,
+        progress: int,
+        n_arrivals: int,
+        n_completions: int,
+        stalled: bool,
+    ) -> None:
+        """Shared tail of per-step telemetry (both engines funnel here)."""
+        obs = self._obs
+        rr_depths = self._scheduler.obs_rr_depths()
+        wall = perf_counter() - self._obs_w0
+        caps = self._state.last_caps
+        if caps is self._obs_caps_key:
+            caps_total = self._obs_caps_total
+        else:
+            self._obs_caps_key = caps
+            caps_total = self._obs_caps_total = sum(caps)
+        if obs.metrics is not None:
+            obs.metrics.record_step(
+                desired_tot,
+                allocated_tot,
+                progress,
+                n_arrivals,
+                n_completions,
+                stalled,
+                realloc,
+                rr_depths,
+                wall,
+                caps_total,
+            )
+        if obs.bus.active:
+            delta = self._obs_transitions_delta()
+            if delta:
+                for alpha, kind, n in delta:
+                    obs.bus.emit(
+                        t,
+                        "transition",
+                        category=alpha,
+                        transition=kind,
+                        count=n,
+                    )
+            obs.bus.emit(
+                t,
+                "step",
+                desired=np.asarray(desired_tot).tolist(),
+                allocated=np.asarray(allocated_tot).tolist(),
+                progress=progress,
+                arrivals=n_arrivals,
+                completions=n_completions,
+                stalled=stalled,
+                realloc=realloc,
+                rr_depths=rr_depths,
+                wall=wall,
+            )
+
+    def _obs_realloc_dict(self, allotments: dict) -> float:
+        """``sum_j |a_j(t) - a_j(t-1)|`` against the previous step.
+
+        Matches :func:`repro.sim.metrics.reallocation_volume` on a
+        recorded trace: absent jobs count as the zero vector and the
+        first step of a run contributes nothing.
+        """
+        prev = self._obs_prev_alloc
+        self._obs_prev_alloc = allotments
+        if prev is None:
+            return 0.0
+        if isinstance(prev, list):
+            prev = self._obs_matrix_to_dict(prev)
+        total = 0
+        for jid, a in allotments.items():
+            a = np.asarray(a, dtype=np.int64)
+            p = prev.get(jid)
+            if p is None:
+                total += int(a.sum())
+            else:
+                total += int(
+                    np.abs(a - np.asarray(p, dtype=np.int64)).sum()
+                )
+        for jid, p in prev.items():
+            if jid not in allotments:
+                total += int(np.asarray(p, dtype=np.int64).sum())
+        return float(total)
+
+    @staticmethod
+    def _obs_matrix_to_dict(prev: list) -> dict:
+        """Expand a fast-engine ``["matrix", jids, A]`` snapshot."""
+        _tag, jids, mat = prev
+        return {int(j): mat[i] for i, j in enumerate(jids)}
+
+    def _obs_transitions_delta(self) -> list[tuple[int, str, int]] | None:
+        """New DEQ<->RR transitions since the previous snapshot."""
+        cur = self._scheduler.obs_transitions()
+        if cur is None:
+            return None
+        prev = self._obs_prev_trans
+        self._obs_prev_trans = [dict(c) for c in cur]
+        out: list[tuple[int, str, int]] = []
+        for alpha, counts in enumerate(cur):
+            base = (
+                prev[alpha]
+                if prev is not None and alpha < len(prev)
+                else {}
+            )
+            for kind, n in counts.items():
+                dn = int(n) - int(base.get(kind, 0))
+                if dn:
+                    out.append((alpha, kind, dn))
+        return out
 
     # ------------------------------------------------------------------
     def digest(self) -> int:
@@ -905,6 +1170,8 @@ class Simulator:
             )
         self._ensure_started()
         st = self._state
+        if self._obs is not None:
+            self._obs.on_checkpoint(st.t)
         return {
             "format": "checkpoint",
             "version": _CHECKPOINT_VERSION,
@@ -1109,8 +1376,8 @@ class Simulator:
             # header so it is independently recoverable.
             sim._journal = journal
             sim._journal_started = True
-            journal.append("meta", sim._journal_meta())
-            journal.append("checkpoint", sim.checkpoint())
+            sim._journal_put("meta", sim._journal_meta())
+            sim._journal_put("checkpoint", sim.checkpoint())
         return sim
 
     # ------------------------------------------------------------------
@@ -1282,6 +1549,7 @@ def simulate(
     journal=None,
     max_stall_steps: int = 1000,
     engine: str | None = None,
+    obs: Observability | None = None,
 ) -> SimulationResult:
     """One-call convenience: run ``jobset`` under ``scheduler``.
 
@@ -1311,4 +1579,5 @@ def simulate(
         churn=churn,
         journal=journal,
         max_stall_steps=max_stall_steps,
+        obs=obs,
     ).run()

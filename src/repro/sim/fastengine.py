@@ -56,6 +56,7 @@ Four mechanisms carry the speedup:
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 
 import numpy as np
 
@@ -86,6 +87,15 @@ class FastSimulator(Simulator):
     _ft_built = False
     #: True while Job objects lag behind the lean-mode state arrays
     _ft_stale = False
+    #: obs-only scratch: cached ones vector for matmul column sums
+    #: (3x cheaper than ``sum(axis=0)`` at the hot shapes) and a
+    #: reusable ``|A - prev|`` buffer — telemetry must not allocate
+    _obs_ones = None
+    _obs_diffbuf = None
+    #: reallocation volume owed by rows that left between two
+    #: allocations (``_ft_sync`` realigns the previous-allotment matrix
+    #: and banks the departed rows here; the next diff pays it out)
+    _obs_realloc_carry = 0.0
 
     # ------------------------------------------------------------------
     def _ft_build(self) -> None:
@@ -287,6 +297,24 @@ class FastSimulator(Simulator):
             self._ft_EC, self._ft_NP = EC, NP
             for pos in fresh_pos + refresh_pos:
                 self._ft_read_row(pos, new_jobs[pos])
+            prev = self._obs_prev_alloc
+            if type(prev) is list:
+                # Realign the previous-allotment matrix to the new row
+                # order so the per-step realloc diff stays one aligned
+                # subtraction.  Fresh rows start at zero (the next diff
+                # charges their full allotment); departed rows are owed
+                # |prev - 0| and bank into the carry, paid out by the
+                # next diff — together exactly reallocation_volume's
+                # absent-job = zero-vector convention.
+                P_old = prev[2]
+                P_new = np.zeros((n, k), dtype=np.int64)
+                kept = 0
+                if surv_pos:
+                    sub = P_old[perm]
+                    P_new[surv_pos] = sub
+                    kept = int(sub.sum())
+                self._obs_realloc_carry += float(int(P_old.sum()) - kept)
+                self._obs_prev_alloc = ["matrix", new_jids, P_new]
         self._ft_jids = new_jids
         self._ft_jobs = new_jobs
         self._ft_rowidx = {jid: i for i, jid in enumerate(new_jids)}
@@ -315,6 +343,93 @@ class FastSimulator(Simulator):
             )
 
     # ------------------------------------------------------------------
+    # observability helpers (matrix-shaped fast paths)
+    # ------------------------------------------------------------------
+    def _obs_realloc_matrix(self, A: np.ndarray) -> float:
+        """Matrix-shaped counterpart of ``_obs_realloc_dict``.
+
+        ``_ft_sync`` realigns the stored matrix to every membership
+        change and banks departed rows in ``_obs_realloc_carry``, so in
+        lean mode the diff is always one aligned subtraction plus the
+        carry; the id-aligned and per-job dict comparisons below only
+        remain for handoffs from non-lean paths.  The value always
+        matches :func:`repro.sim.metrics.reallocation_volume`.
+        """
+        prev = self._obs_prev_alloc
+        jids = self._ft_jids
+        if type(prev) is list and prev[1] is jids:
+            # hot path: row order unchanged since the last diff — swap
+            # the snapshot in place and take one aligned subtraction.
+            # A is freshly allocated by allocate_matrix and never
+            # written after allocation, so keeping it without a copy
+            # is safe.
+            P = prev[2]
+            prev[2] = A
+            buf = self._obs_diffbuf
+            if buf is None or buf.shape != A.shape:
+                buf = self._obs_diffbuf = np.empty_like(A)
+            np.subtract(A, P, out=buf)
+            np.abs(buf, out=buf)
+            carry = self._obs_realloc_carry
+            if carry:
+                self._obs_realloc_carry = 0.0
+                return float(buf.sum()) + carry
+            return float(buf.sum())
+        self._obs_prev_alloc = ["matrix", jids, A]
+        if prev is None:
+            return 0.0
+        carry = self._obs_realloc_carry
+        if carry:
+            self._obs_realloc_carry = 0.0
+        if isinstance(prev, list):
+            # membership changed without a sync realign (handoff from a
+            # non-lean matrix path): align common rows by id; rows
+            # present on only one side contribute their full
+            # (non-negative) sum, matching reallocation_volume's
+            # absent-job = zero-vector convention
+            jp = np.asarray(prev[1], dtype=np.int64)
+            jc = np.asarray(jids, dtype=np.int64)
+            P = prev[2]
+            _, ip, ic = np.intersect1d(
+                jp, jc, assume_unique=True, return_indices=True
+            )
+            moved = np.abs(A[ic] - P[ip]).sum()
+            only_cur = A.sum() - A[ic].sum()
+            only_prev = P.sum() - P[ip].sum()
+            return float(moved + only_cur + only_prev) + carry
+        cur = {int(j): A[i] for i, j in enumerate(jids)}
+        total = 0
+        for jid, a in cur.items():
+            p = prev.get(jid)
+            if p is None:
+                total += int(a.sum())
+            else:
+                total += int(
+                    np.abs(a - np.asarray(p, dtype=np.int64)).sum()
+                )
+        for jid, p in prev.items():
+            if jid not in cur:
+                total += int(np.asarray(p, dtype=np.int64).sum())
+        return float(total) + carry
+
+    def _obs_span(self, t: int, s: int, totals: np.ndarray) -> None:
+        """Credit an analytically skipped quiescent span of ``s`` steps."""
+        obs = self._obs
+        if obs.metrics is not None:
+            obs.metrics.record_span(
+                s,
+                np.asarray(totals, dtype=np.int64),
+                sum(self._state.last_caps),
+            )
+        if obs.bus.active:
+            obs.bus.emit(
+                t,
+                "steady_span",
+                steps=s,
+                allocated=np.asarray(totals).tolist(),
+            )
+
+    # ------------------------------------------------------------------
     def _step(self) -> None:  # noqa: C901 - mirrors the reference loop
         """One time step — a phase-for-phase mirror of the reference."""
         machine = self._machine
@@ -322,6 +437,12 @@ class FastSimulator(Simulator):
         st = self._state
         if not self._ft_built:
             self._ft_build()
+        obs = self._obs
+        prof = obs.profiler if obs is not None else None
+        if obs is not None:
+            self._obs_w0 = perf_counter()
+        if prof is not None:
+            prof.step_begin()
 
         st.t += 1
         t = st.t
@@ -353,6 +474,8 @@ class FastSimulator(Simulator):
         for job in arriving:
             st.alive[job.job_id] = job
             arrivals.append(job.job_id)
+        if prof is not None:
+            prof.lap("arrivals")
 
         step_machine = machine
         caps_t = machine.capacities
@@ -382,6 +505,8 @@ class FastSimulator(Simulator):
         if caps_t != st.last_caps:
             scheduler.notify_capacity_change(st.last_caps, caps_t)
             st.last_caps = caps_t
+        if prof is not None:
+            prof.lap("capacity")
 
         # Membership reconciliation happens exactly where the reference
         # scheduler runs register+prune: at allocation time.
@@ -398,13 +523,28 @@ class FastSimulator(Simulator):
             A = self._ft_batch.allocate_matrix(D, caps_t)
             if self._validate:
                 self._ft_check_matrix(A, caps_t)
+            if prof is not None:
+                prof.lap("allotment")
+            # Pre-execution desire column sums — D is mutated in place
+            # below for served rows, so capture the totals now.
+            if obs is not None:
+                ones = self._obs_ones
+                if ones is None or ones.shape[0] != D.shape[0]:
+                    ones = self._obs_ones = np.ones(
+                        D.shape[0], dtype=np.int64
+                    )
+                obs_desired = ones @ D
+            else:
+                obs_desired = None
             row_tot = A.sum(axis=1)
             served = np.flatnonzero(row_tot)
             progress = int(row_tot.sum())
             completions: list[int] = []
+            a_cols = None
             if served.size:
                 self._ft_stale = True
-                st.busy += A.sum(axis=0)
+                a_cols = A.sum(axis=0)
+                st.busy += a_cols
                 R = self._ft_R
                 self._ft_LPI[served] = self._ft_PI[served]
                 self._ft_EC[served] += row_tot[served]
@@ -435,6 +575,8 @@ class FastSimulator(Simulator):
                         completions.append(jid)
                         del st.alive[jid]
                 D[served] = np.minimum(self._ft_P[served], R[served])
+            if prof is not None:
+                prof.lap("execution")
         else:
             if not self._ft_incr:
                 # Opted-out backend somewhere in the run: re-poll every
@@ -461,6 +603,9 @@ class FastSimulator(Simulator):
                 allotments = self._ft_batch.allocate(D, caps_t)
                 if self._validate:
                     self._ft_check(allotments, caps_t)
+                # Pre-execution column sums; the execution loop below
+                # refreshes served rows of D in place.
+                obs_desired = D.sum(axis=0) if obs is not None else None
             else:
                 desires = self._ft_desires
                 allotments = scheduler.allocate(
@@ -470,6 +615,9 @@ class FastSimulator(Simulator):
                 )
                 if self._validate:
                     check_allotments(step_machine, desires, allotments)
+                obs_desired = None
+            if prof is not None:
+                prof.lap("allotment")
 
             executed: dict[int, list[list[int]]] = {}
             progress = 0
@@ -495,6 +643,8 @@ class FastSimulator(Simulator):
                 post_exec = {
                     jid: st.alive[jid].desire_vector() for jid in executed
                 }
+            if prof is not None:
+                prof.lap("execution")
 
             failed, killed = self._inject_faults(t, executed)
             if self._ft_incr:
@@ -509,13 +659,18 @@ class FastSimulator(Simulator):
                         post_exec[jid] = job.desire_vector()
             if killed:
                 self._ft_dirty = True
+            if prof is not None:
+                prof.lap("faults")
 
             if self._supervisor is not None:
                 quarantined_before = len(st.quarantined)
                 self._supervise(t, caps_t, desires, allotments, executed)
                 if len(st.quarantined) != quarantined_before:
                     self._ft_dirty = True
+            if prof is not None:
+                prof.lap("supervise")
 
+        stalled = False
         if progress == 0:
             # evaluated lazily, like the reference: zero-progress steps
             # are rare, so the activity scan stays off the hot path
@@ -534,6 +689,7 @@ class FastSimulator(Simulator):
                     f"nothing while {len(st.alive)} jobs are active — not "
                     "work-conserving"
                 )
+            stalled = True
             st.stall_run += 1
             st.stall_steps += 1
             st.longest_stall = max(st.longest_stall, st.stall_run)
@@ -565,6 +721,42 @@ class FastSimulator(Simulator):
             st.makespan = t
             self._ft_dirty = True
 
+        if obs is not None:
+            if self._ft_lean:
+                realloc = self._obs_realloc_matrix(A)
+                if obs.bus.active:
+                    obs.bus.emit(
+                        t,
+                        "alloc",
+                        allotments={
+                            int(jid): A[i].tolist()
+                            for i, jid in enumerate(self._ft_jids)
+                        },
+                    )
+                self._obs_common(
+                    t,
+                    obs_desired,
+                    a_cols if a_cols is not None else np.zeros_like(
+                        obs_desired
+                    ),
+                    realloc,
+                    progress,
+                    len(arrivals),
+                    len(completions),
+                    stalled,
+                )
+            else:
+                self._obs_step(
+                    t,
+                    desires,
+                    allotments,
+                    progress,
+                    len(arrivals),
+                    len(completions),
+                    stalled,
+                    desired_tot=obs_desired,
+                )
+
         if st.trace is not None:
             st.trace.append(
                 StepRecord(
@@ -589,9 +781,11 @@ class FastSimulator(Simulator):
             self._ft_desires.update(post_exec)
 
         if self._journal is not None:
-            self._journal.append("step", {"t": t, "digest": self.digest()})
+            self._journal_put("step", {"t": t, "digest": self.digest()})
             if t % self._journal.checkpoint_every == 0 and self._unfinished():
-                self._journal.append("checkpoint", self.checkpoint())
+                self._journal_put("checkpoint", self.checkpoint())
+        if prof is not None:
+            prof.lap("bookkeeping")
 
         # --------------------------------------------------------------
         # Quiescent-span skip: if this step was fully satisfied with
@@ -625,6 +819,8 @@ class FastSimulator(Simulator):
                         self._ft_LPI[:] = self._ft_PI
                         self._ft_EC += s * D.sum(axis=1)
                         self._ft_R -= s * D
+                        if obs is not None:
+                            self._obs_span(t, s, totals)
         elif (
             self._ft_vec
             and self._ft_incr
@@ -656,3 +852,5 @@ class FastSimulator(Simulator):
                     st.busy += s * totals
                     for job in self._ft_jobs:
                         job.advance_steady(s)
+                    if obs is not None:
+                        self._obs_span(t, s, totals)

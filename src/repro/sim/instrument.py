@@ -4,6 +4,11 @@
 desires it saw and the allotments it granted — without the memory cost of a
 full execution trace.  The fairness analysis (:mod:`repro.theory.fairness`)
 and ad-hoc debugging build on it.
+
+Given an :class:`~repro.obs.events.EventBus` it instead *streams* each
+decision as an ``"alloc"`` event (``source="scheduler"``), so arbitrarily
+long runs can be observed in O(1) memory; pass ``keep_records=True`` to
+get both.
 """
 
 from __future__ import annotations
@@ -40,11 +45,32 @@ class AllocationRecord:
 
 
 class RecordingScheduler(Scheduler):
-    """Transparent wrapper: delegates everything, records decisions."""
+    """Transparent wrapper: delegates everything, records decisions.
 
-    def __init__(self, inner: Scheduler) -> None:
+    Parameters
+    ----------
+    inner:
+        The scheduler whose decisions are observed.
+    bus:
+        Optional :class:`~repro.obs.events.EventBus`; each decision is
+        emitted as an ``"alloc"`` event tagged ``source="scheduler"``.
+    keep_records:
+        Whether to also append to :attr:`records`.  Defaults to ``True``
+        without a bus and ``False`` with one (streaming mode).
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        bus=None,
+        keep_records: bool | None = None,
+    ) -> None:
         super().__init__()
         self.inner = inner
+        self.bus = bus
+        self.keep_records = (
+            keep_records if keep_records is not None else bus is None
+        )
         self.records: list[AllocationRecord] = []
 
     @property
@@ -67,6 +93,18 @@ class RecordingScheduler(Scheduler):
         super().rebind(machine)
         self.inner.rebind(machine)
 
+    def notify_capacity_change(self, old_capacities, new_capacities):
+        # Forwarded for the same reason as rebind: RAD's DEQ/RR state
+        # machine must migrate across capacity boundaries even when the
+        # scheduler is observed through this wrapper.
+        self.inner.notify_capacity_change(old_capacities, new_capacities)
+
+    def obs_rr_depths(self):
+        return self.inner.obs_rr_depths()
+
+    def obs_transitions(self):
+        return self.inner.obs_transitions()
+
     def state_dict(self) -> dict:
         # Records are in-memory diagnostics, not run state; only the inner
         # scheduler's state affects the schedule, so only it is
@@ -78,13 +116,30 @@ class RecordingScheduler(Scheduler):
 
     def allocate(self, t, desires, jobs=None):
         allotments = self.inner.allocate(t, desires, jobs=jobs)
-        self.records.append(
-            AllocationRecord(
-                t=t,
-                desires={jid: np.array(d) for jid, d in desires.items()},
+        if self.keep_records:
+            self.records.append(
+                AllocationRecord(
+                    t=t,
+                    desires={
+                        jid: np.array(d) for jid, d in desires.items()
+                    },
+                    allotments={
+                        jid: np.array(a) for jid, a in allotments.items()
+                    },
+                )
+            )
+        if self.bus is not None and self.bus.active:
+            self.bus.emit(
+                t,
+                "alloc",
+                source="scheduler",
+                desires={
+                    int(jid): np.asarray(d).tolist()
+                    for jid, d in desires.items()
+                },
                 allotments={
-                    jid: np.array(a) for jid, a in allotments.items()
+                    int(jid): np.asarray(a).tolist()
+                    for jid, a in allotments.items()
                 },
             )
-        )
         return allotments

@@ -189,10 +189,32 @@ def summarize_robustness(result: SimulationResult) -> RobustnessSummary:
 def summarize_result(
     result: SimulationResult, jobset: JobSet
 ) -> MetricsSummary:
-    """Compute the full metrics digest for one run."""
+    """Compute the full metrics digest for one run.
+
+    A run with no completed jobs (an empty job set, or every job lost to
+    faults/quarantine) has no response-time distribution: the response
+    statistics come back as 0 and fairness as 1.0 (a vacuous "everyone
+    was treated equally"), rather than numpy's nan-plus-RuntimeWarning
+    for the mean of an empty array.
+    """
     rts = np.asarray(
         sorted(result.response_times().values()), dtype=np.float64
     )
+    if rts.size == 0:
+        return MetricsSummary(
+            scheduler=result.scheduler_name,
+            makespan=result.makespan,
+            mean_response_time=0.0,
+            median_response_time=0.0,
+            p95_response_time=0.0,
+            max_response_time=0,
+            mean_slowdown=0.0,
+            max_slowdown=0.0,
+            response_fairness=1.0,
+            utilization=tuple(
+                float(u) for u in result.utilization_vector()
+            ),
+        )
     slow = np.asarray(sorted(slowdowns(result, jobset).values()))
     return MetricsSummary(
         scheduler=result.scheduler_name,

@@ -68,6 +68,129 @@ class TestCliOutputFormats:
         json.dumps(doc)  # must not raise on numpy leftovers
 
 
+class TestCliFlagConflicts:
+    """Flag combinations that would silently ignore half the invocation
+    must be rejected loudly with a one-line error."""
+
+    def test_markdown_and_json_conflict(self, capsys):
+        assert main(["FIG1", "--out", "x", "--markdown", "--json"]) == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("flag", ["--markdown", "--json"])
+    def test_format_without_out_rejected(self, capsys, flag):
+        assert main(["FIG1", flag]) == 2
+        err = capsys.readouterr().err
+        assert f"{flag} formats the --out file" in err
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--repeats", "2"],
+            ["--out", "x"],
+            ["--engine", "fast"],
+            ["--obs-out", "m.prom"],
+            ["--events-out", "e.jsonl"],
+        ],
+    )
+    def test_list_with_run_flags_rejected(self, capsys, extra):
+        assert main(["list", *extra]) == 2
+        err = capsys.readouterr().err
+        assert "'list' runs nothing" in err
+        assert extra[0] in err
+
+    def test_faults_max_attempts_without_kill_rate(self, capsys):
+        assert main(["faults", "--jobs", "3", "--max-attempts", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--max-attempts only governs killed-job retries" in err
+        assert "Traceback" not in err
+
+    def test_supervise_checkpoint_every_without_journal(self, capsys):
+        assert main(["supervise", "--checkpoint-every", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "--checkpoint-every sets the journal's checkpoint" in err
+        assert "Traceback" not in err
+
+
+class TestCliObservability:
+    def test_experiment_exports_metrics_and_events(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import get_default_obs, parse_prometheus_text
+
+        prom = tmp_path / "metrics.prom"
+        events = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "FIG1",
+                    "--obs-out",
+                    str(prom),
+                    "--events-out",
+                    str(events),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"metrics: {prom}" in out
+        assert f"events: {events}" in out
+        samples = parse_prometheus_text(prom.read_text())
+        assert samples["krad_runs_total"] > 0
+        assert samples["krad_completions_total"] > 0
+        kinds = {
+            json.loads(line)["kind"]
+            for line in events.read_text().splitlines()
+        }
+        assert {"run_start", "step", "run_end"} <= kinds
+        assert get_default_obs() is None  # torn down after the run
+
+    def test_fault_probe_exports_retry_counters(self, capsys, tmp_path):
+        from repro.obs import parse_prometheus_text
+
+        prom = tmp_path / "faults.prom"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--jobs",
+                    "8",
+                    "--seed",
+                    "3",
+                    "--kill-rate",
+                    "0.05",
+                    "--max-attempts",
+                    "4",
+                    "--obs-out",
+                    str(prom),
+                ]
+            )
+            == 0
+        )
+        samples = parse_prometheus_text(prom.read_text())
+        assert samples["krad_job_kills_total"] > 0
+        assert samples["krad_retries_total"] > 0
+
+    def test_obs_out_into_missing_dir_rejected(self, capsys, tmp_path):
+        from repro.obs import get_default_obs
+
+        target = str(tmp_path / "no" / "dir" / "m.prom")
+        assert main(["FIG1", "--obs-out", target]) == 2
+        err = capsys.readouterr().err
+        assert "cannot write" in err
+        assert "Traceback" not in err
+        assert get_default_obs() is None
+
+    def test_failing_run_still_clears_default_obs(self, capsys, tmp_path):
+        from repro.obs import get_default_obs
+
+        assert (
+            main(["faults", "--outage", "nope", "--obs-out", "m.prom"]) == 2
+        )
+        assert get_default_obs() is None
+
+
 class TestCliAll:
     def test_all_aggregates_and_reports(self, capsys, monkeypatch):
         """Run `krad all` against a stubbed registry (fast, deterministic)."""

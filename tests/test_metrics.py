@@ -36,6 +36,31 @@ class TestSlowdowns:
         with pytest.raises(ReproError):
             slowdowns(r, other)
 
+    def test_zero_span_job_rejected(self, machine2, rng):
+        """A degenerate job whose span is 0 would divide by zero; the
+        guard must name the offending job instead.  PhaseJob refuses
+        zero work at construction, so the case is driven through stubs
+        mimicking a finished result."""
+
+        class _ZeroSpanJob:
+            job_id = 7
+
+            def span(self):
+                return 0
+
+        class _Result:
+            completion_times = {7: 3}
+
+            def response_times(self):
+                return {7: 3}
+
+        class _JobSet:
+            def __iter__(self):
+                return iter([_ZeroSpanJob()])
+
+        with pytest.raises(ReproError, match="non-positive span"):
+            slowdowns(_Result(), _JobSet())
+
 
 class TestSummarizeResult:
     def test_summary_fields(self, machine2, rng):
@@ -58,6 +83,47 @@ class TestSummarizeResult:
         js = workloads.random_phase_jobset(rng, 2, 4)
         s = summarize_result(simulate(machine2, KRad(), js), js)
         assert len(s.as_row()) == len(s.ROW_HEADERS)
+
+    def test_empty_jobset_yields_zeros_not_nan(self, machine2):
+        """An empty run has no response-time distribution; the summary
+        must come back as zeros with vacuous fairness 1.0, without
+        numpy's mean-of-empty-slice RuntimeWarning."""
+        import warnings
+
+        js = JobSet([], num_categories=2)
+        r = simulate(machine2, KRad(), js)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            s = summarize_result(r, js)
+        assert s.makespan == 0
+        assert s.mean_response_time == 0.0
+        assert s.p95_response_time == 0.0
+        assert s.max_response_time == 0
+        assert s.mean_slowdown == 0.0
+        assert s.response_fairness == 1.0
+        assert s.utilization == (0.0, 0.0)
+
+    def test_all_jobs_lost_yields_zeros(self):
+        """Every job killed with no retry budget: completions are empty
+        even though the run executed steps — same zero-valued digest."""
+        from repro.sim import JobKiller, RetryPolicy
+
+        rng = np.random.default_rng(0)
+        machine = KResourceMachine((4, 2))
+        js = workloads.random_phase_jobset(rng, 2, 4, max_work=20)
+        r = simulate(
+            machine,
+            KRad(),
+            js,
+            seed=0,
+            fault_model=JobKiller(0.99, seed=1),
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        assert not r.completion_times and r.failed_jobs
+        s = summarize_result(r, js)
+        assert s.mean_response_time == 0.0
+        assert s.max_slowdown == 0.0
+        assert s.response_fairness == 1.0
 
 
 class TestLightWorkloadEquivalence:
