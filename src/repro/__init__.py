@@ -21,6 +21,7 @@ Layout
 * :mod:`repro.jobs` — job runtime (DAG and phase backends), workloads
 * :mod:`repro.machine` — the K-resource machine
 * :mod:`repro.schedulers` — K-RAD and baselines
+* :mod:`repro.service` — long-running online scheduling service (daemon)
 * :mod:`repro.sim` — discrete-time engine, traces, validity checking
 * :mod:`repro.theory` — squashed sums, lower bounds, guarantee checks
 * :mod:`repro.analysis` — sweeps, competitive ratios, tables
@@ -38,6 +39,7 @@ from repro import (
     machine,
     perf,
     schedulers,
+    service,
     sim,
     theory,
     viz,
@@ -47,6 +49,7 @@ from repro.errors import (
     DagError,
     ReproError,
     ScheduleError,
+    ServiceError,
     SimulationError,
     ValidationError,
     WorkloadError,
@@ -92,6 +95,7 @@ __all__ = [
     "machine",
     "perf",
     "schedulers",
+    "service",
     "sim",
     "theory",
     "viz",
@@ -99,6 +103,7 @@ __all__ = [
     "DagError",
     "ReproError",
     "ScheduleError",
+    "ServiceError",
     "SimulationError",
     "ValidationError",
     "WorkloadError",

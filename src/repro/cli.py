@@ -26,6 +26,20 @@ it from the journal after a crash::
     krad supervise --capacities 4,2 --jobs 12 --churn 5:0:-3:4 \\
         --journal run.journal
     krad recover run.journal
+
+Run the online scheduling service, stream jobs at it, scrape the live
+metrics endpoint, and drain it::
+
+    krad serve --capacities 8,4 --port 7180 --metrics-port 9290 \\
+        --journal svc.journal
+    krad submit --connect 127.0.0.1:7180 --tenant alice --jobs 5
+    curl http://127.0.0.1:9290/metrics
+    krad drain --connect 127.0.0.1:7180
+
+If the service dies mid-run (power cut, SIGKILL), finish its backlog
+offline from the journal::
+
+    krad recover svc.journal
 """
 
 from __future__ import annotations
@@ -220,25 +234,12 @@ def _run_one(
     return report.passed
 
 
-def _build_faults_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="krad faults",
-        description=(
-            "Run one fault-injected simulation and print robustness "
-            "metrics (wasted work, goodput, retries, stalls)"
-        ),
-    )
-    parser.add_argument(
-        "--capacities",
-        default="8,4",
-        help="comma-separated per-category processor counts (default 8,4)",
-    )
-    parser.add_argument(
-        "--jobs", type=int, default=10, help="number of random DAG jobs"
-    )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="workload + fault RNG seed"
-    )
+def _parse_capacities(spec: str) -> tuple[int, ...]:
+    return tuple(int(c) for c in spec.split(",") if c.strip())
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared fault-injection flag set (faults / serve / recover)."""
     parser.add_argument(
         "--task-fail-rate",
         type=float,
@@ -276,6 +277,106 @@ def _build_faults_parser() -> argparse.ArgumentParser:
         help="execution attempts per killed job (with backoff; default 3); "
         "1 = no retry.  Only meaningful with --kill-rate",
     )
+
+
+def _validate_fault_flags(args) -> None:
+    """Cross-flag guards for the shared fault set (cheap; no imports)."""
+    if args.outage is not None and args.availability is not None:
+        raise ValueError(
+            "--outage and --availability are mutually exclusive; "
+            "pick one capacity-fault mode"
+        )
+    if args.max_attempts is not None and args.kill_rate <= 0:
+        raise ValueError(
+            "--max-attempts only governs killed-job retries; "
+            "it needs --kill-rate > 0"
+        )
+
+
+def _build_fault_objects(capacities: tuple[int, ...], args):
+    """Turn the shared fault flags into engine hook objects.
+
+    Returns ``(capacity_schedule, fault_model, retry_policy)``.  The
+    shipped models are pure functions of ``(seed, step)``, so building
+    them again from the same flags yields the identical objects a
+    crashed run used — which is exactly what ``recover`` needs.
+    Raises :class:`ValueError` on conflicting flags.
+    """
+    from repro.sim import (
+        CompositeFaultModel,
+        JobKiller,
+        RandomDegradation,
+        RetryPolicy,
+        TaskFailures,
+    )
+    from repro.sim.faults import periodic_outage
+
+    _validate_fault_flags(args)
+    max_attempts = args.max_attempts if args.max_attempts is not None else 3
+
+    capacity_schedule = None
+    if args.outage is not None:
+        parts = [int(p) for p in args.outage.split(":")]
+        if len(parts) == 2:
+            period, duration, degraded = parts[0], parts[1], 1
+        elif len(parts) == 3:
+            period, duration, degraded = parts
+        else:
+            raise ValueError(
+                f"--outage wants PERIOD:DURATION[:DEGRADED], got "
+                f"{args.outage!r}"
+            )
+        capacity_schedule = periodic_outage(
+            capacities,
+            category=0,
+            period=period,
+            duration=duration,
+            degraded=degraded,
+        )
+    elif args.availability is not None:
+        capacity_schedule = RandomDegradation(
+            capacities, availability=args.availability, seed=args.seed
+        )
+
+    models = []
+    if args.task_fail_rate > 0:
+        models.append(TaskFailures(args.task_fail_rate, seed=args.seed))
+    if args.kill_rate > 0:
+        models.append(JobKiller(args.kill_rate, seed=args.seed))
+    fault_model = None
+    if len(models) == 1:
+        fault_model = models[0]
+    elif models:
+        fault_model = CompositeFaultModel(models)
+
+    retry_policy = (
+        RetryPolicy(max_attempts=max_attempts)
+        if fault_model is not None and max_attempts > 1
+        else None
+    )
+    return capacity_schedule, fault_model, retry_policy
+
+
+def _build_faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="krad faults",
+        description=(
+            "Run one fault-injected simulation and print robustness "
+            "metrics (wasted work, goodput, retries, stalls)"
+        ),
+    )
+    parser.add_argument(
+        "--capacities",
+        default="8,4",
+        help="comma-separated per-category processor counts (default 8,4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=10, help="number of random DAG jobs"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload + fault RNG seed"
+    )
+    _add_fault_arguments(parser)
     parser.add_argument(
         "--max-stall-steps",
         type=int,
@@ -301,78 +402,17 @@ def _faults_main(argv: list[str]) -> int:
     from repro.jobs import workloads
     from repro.machine.machine import KResourceMachine
     from repro.schedulers.krad import KRad
-    from repro.sim import (
-        CompositeFaultModel,
-        JobKiller,
-        RandomDegradation,
-        RetryPolicy,
-        TaskFailures,
-        simulate,
-        summarize_robustness,
-    )
-    from repro.sim.faults import periodic_outage
+    from repro.sim import simulate, summarize_robustness
 
     args = _build_faults_parser().parse_args(argv)
     obs = None
     try:
-        capacities = tuple(
-            int(c) for c in args.capacities.split(",") if c.strip()
-        )
+        capacities = _parse_capacities(args.capacities)
         machine = KResourceMachine(capacities)
-
-        if args.outage is not None and args.availability is not None:
-            raise ValueError(
-                "--outage and --availability are mutually exclusive; "
-                "pick one capacity-fault mode"
-            )
-        if args.max_attempts is not None and args.kill_rate <= 0:
-            raise ValueError(
-                "--max-attempts only governs killed-job retries; "
-                "it needs --kill-rate > 0"
-            )
-        max_attempts = args.max_attempts if args.max_attempts is not None else 3
-        obs = _install_obs(args)
-
-        capacity_schedule = None
-        if args.outage is not None:
-            parts = [int(p) for p in args.outage.split(":")]
-            if len(parts) == 2:
-                period, duration, degraded = parts[0], parts[1], 1
-            elif len(parts) == 3:
-                period, duration, degraded = parts
-            else:
-                raise ValueError(
-                    f"--outage wants PERIOD:DURATION[:DEGRADED], got "
-                    f"{args.outage!r}"
-                )
-            capacity_schedule = periodic_outage(
-                capacities,
-                category=0,
-                period=period,
-                duration=duration,
-                degraded=degraded,
-            )
-        elif args.availability is not None:
-            capacity_schedule = RandomDegradation(
-                capacities, availability=args.availability, seed=args.seed
-            )
-
-        models = []
-        if args.task_fail_rate > 0:
-            models.append(TaskFailures(args.task_fail_rate, seed=args.seed))
-        if args.kill_rate > 0:
-            models.append(JobKiller(args.kill_rate, seed=args.seed))
-        fault_model = None
-        if len(models) == 1:
-            fault_model = models[0]
-        elif models:
-            fault_model = CompositeFaultModel(models)
-
-        retry_policy = (
-            RetryPolicy(max_attempts=max_attempts)
-            if fault_model is not None and max_attempts > 1
-            else None
+        capacity_schedule, fault_model, retry_policy = _build_fault_objects(
+            capacities, args
         )
+        obs = _install_obs(args)
 
         rng = np.random.default_rng(args.seed)
         js = workloads.random_dag_jobset(
@@ -616,12 +656,26 @@ def _recover_main(argv: list[str]) -> int:
         description=(
             "Rebuild a crashed simulation from its write-ahead journal "
             "(truncating any torn tail), replay it with digest "
-            "verification, and run it to completion"
+            "verification, and run it to completion.  Works on batch "
+            "journals ('krad supervise --journal') and service journals "
+            "('krad serve --journal') alike; a crashed fault-injected "
+            "run must pass back the same fault flags (and --seed) it "
+            "ran with, since those hooks are callables the journal "
+            "cannot capture"
         ),
     )
     parser.add_argument(
-        "journal", help="journal file from 'krad supervise --journal'"
+        "journal",
+        help="journal file from 'krad supervise --journal' or "
+        "'krad serve --journal'",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault RNG seed the crashed run used (with fault flags)",
+    )
+    _add_fault_arguments(parser)
     _add_engine_argument(parser)
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
@@ -630,8 +684,36 @@ def _recover_main(argv: list[str]) -> int:
 
     obs = None
     try:
+        _validate_fault_flags(args)
+        capacity_schedule = fault_model = retry_policy = None
+        if (
+            args.task_fail_rate > 0
+            or args.kill_rate > 0
+            or args.availability is not None
+            or args.outage is not None
+            or args.max_attempts is not None
+        ):
+            # Capacity-fault models need the machine shape; read it from
+            # the journal header instead of asking the operator again.
+            from repro.io.serialize import machine_from_dict
+            from repro.sim.journal import read_journal
+
+            records, _bytes, _clean = read_journal(args.journal)
+            if not records or records[0].type != "meta":
+                raise ValueError(
+                    f"{args.journal!r} has no readable journal header"
+                )
+            machine = machine_from_dict(records[0].data["machine"])
+            capacity_schedule, fault_model, retry_policy = (
+                _build_fault_objects(machine.capacities, args)
+            )
         obs = _install_obs(args)
-        sim = engine_class(args.engine).recover(args.journal)
+        sim = engine_class(args.engine).recover(
+            args.journal,
+            capacity_schedule=capacity_schedule,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+        )
         result = sim.run()
     except Exception as exc:
         print(f"krad recover: {exc}", file=sys.stderr)
@@ -650,6 +732,476 @@ def _recover_main(argv: list[str]) -> int:
     return 0 if not result.quarantined_jobs and not result.failed_jobs else 1
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="krad serve",
+        description=(
+            "Run the online scheduling service: a live simulator behind "
+            "an NDJSON control socket with per-tenant admission control, "
+            "an optional /metrics HTTP endpoint, optional fault "
+            "injection, and an optional crash-safe journal ('krad "
+            "recover FILE' finishes a killed service's backlog)"
+        ),
+    )
+    parser.add_argument(
+        "--capacities",
+        default="4,2",
+        help="comma-separated per-category processor counts (default 4,2)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="k-rad",
+        help="scheduler name (default k-rad; see repro.schedulers)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="engine + fault RNG seed"
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for TCP sockets (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="control-socket TCP port (default: ephemeral, printed on "
+        "startup)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve the control protocol on a Unix socket instead of TCP",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also serve GET /metrics (Prometheus text) and /healthz on "
+        "this HTTP port (0 = ephemeral, printed on startup)",
+    )
+    parser.add_argument(
+        "--step-slice",
+        type=int,
+        default=8,
+        metavar="N",
+        help="virtual steps the engine advances per serving-loop tick "
+        "(default 8)",
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max unfinished jobs one tenant may hold (default 8)",
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max unfinished jobs across all tenants (default 64)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=int,
+        default=8,
+        metavar="N",
+        help="base retry hint (virtual steps) on quota/backpressure "
+        "rejections (default 8)",
+    )
+    parser.add_argument(
+        "--shed-horizon",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed submissions whose admission would certify a "
+        "Theorem-3 completion horizon beyond N steps (default: off)",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="crash-safe write-ahead journal; every acknowledged "
+        "submission is recoverable ('krad recover FILE')",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="full checkpoint record every N steps in the journal "
+        "(default 25).  Only meaningful with --journal",
+    )
+    parser.add_argument(
+        "--churn",
+        action="append",
+        default=None,
+        metavar="STEP:CAT:DELTA[:DURATION]",
+        help="elastic capacity change, repeatable (see 'krad supervise')",
+    )
+    _add_fault_arguments(parser)
+    _add_engine_argument(parser)
+    _add_obs_arguments(parser)
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``krad serve`` subcommand: run the online scheduling service."""
+    import asyncio
+
+    from repro.service import SchedulingService, ServiceConfig, ServiceServer
+
+    args = _build_serve_parser().parse_args(argv)
+    obs = None
+    try:
+        capacities = _parse_capacities(args.capacities)
+        if args.socket is not None and args.port is not None:
+            raise ValueError(
+                "--socket and --port bind the same control socket; "
+                "pick TCP or Unix, not both"
+            )
+        if args.checkpoint_every is not None and args.journal is None:
+            raise ValueError(
+                "--checkpoint-every sets the journal's checkpoint cadence; "
+                "it needs --journal FILE"
+            )
+        if args.churn and (
+            args.outage is not None or args.availability is not None
+        ):
+            raise ValueError(
+                "--churn and --outage/--availability are mutually "
+                "exclusive capacity-fault modes; express degradation as "
+                "negative churn events"
+            )
+        capacity_schedule, fault_model, retry_policy = _build_fault_objects(
+            capacities, args
+        )
+        churn = None
+        if args.churn:
+            from repro.machine.churn import ChurnSchedule
+
+            churn = ChurnSchedule(capacities, _parse_churn_events(args.churn))
+
+        from repro.obs import Observability
+
+        # The service always collects metrics (they back /metrics and
+        # the 'metrics' wire op); --events-out adds the bus stream.
+        obs = Observability(events_path=args.events_out)
+        config = ServiceConfig(
+            capacities=capacities,
+            scheduler=args.scheduler,
+            engine=args.engine,
+            seed=args.seed,
+            step_slice=args.step_slice,
+            tenant_quota=args.tenant_quota,
+            max_in_flight=args.max_in_flight,
+            retry_after=args.retry_after,
+            shed_horizon=args.shed_horizon,
+            journal_path=args.journal,
+            checkpoint_every=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else 25
+            ),
+        )
+        service = SchedulingService(
+            config,
+            obs=obs,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+            capacity_schedule=capacity_schedule,
+            churn=churn,
+        )
+        server = ServiceServer(
+            service,
+            host=args.host,
+            port=args.port if args.port is not None else 0,
+            unix_path=args.socket,
+            metrics_port=args.metrics_port,
+        )
+    except Exception as exc:
+        print(f"krad serve: {exc}", file=sys.stderr)
+        if obs is not None:
+            obs.close()
+        return 2
+
+    async def _amain() -> None:
+        await server.start()
+        if isinstance(server.address, str):
+            print(f"serving on unix:{server.address}", flush=True)
+        else:
+            host, port = server.address
+            print(f"serving on {host}:{port}", flush=True)
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/metrics", flush=True)
+        if args.journal is not None:
+            print(f"journal: {args.journal}", flush=True)
+        await server.serve_until_drained()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        print("krad serve: interrupted", file=sys.stderr)
+        obs.close()
+        return 130
+    except Exception as exc:
+        print(f"krad serve: {exc}", file=sys.stderr)
+        obs.close()
+        return 2
+    obs.close()
+    if args.obs_out is not None:
+        try:
+            obs.write_prometheus(args.obs_out)
+        except OSError as exc:
+            print(
+                f"krad serve: cannot write {args.obs_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"metrics: {args.obs_out}")
+    if args.events_out is not None:
+        print(f"events: {args.events_out}")
+    res = service.result
+    print(
+        f"drained at makespan {res.makespan}: "
+        f"{len(res.completion_times)} completed, "
+        f"{len(res.failed_jobs)} failed"
+    )
+    return 0 if not res.failed_jobs else 1
+
+
+def _add_connect_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="TCP address of a running 'krad serve'",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="Unix socket of a running 'krad serve --socket'",
+    )
+
+
+def _connect_address(args):
+    if args.connect is not None and args.socket is not None:
+        raise ValueError(
+            "--connect and --socket name the same service endpoint; "
+            "pick one"
+        )
+    if args.socket is not None:
+        return args.socket
+    if args.connect is None:
+        raise ValueError(
+            "where is the service? pass --connect HOST:PORT or "
+            "--socket PATH"
+        )
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--connect wants HOST:PORT, got {args.connect!r}"
+        )
+    return (host, int(port))
+
+
+def _build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="krad submit",
+        description=(
+            "Submit jobs to a running 'krad serve': either a random "
+            "workload (--jobs/--seed) or serialized job documents "
+            "(--job-file).  Prints one ack or rejection line per job"
+        ),
+    )
+    _add_connect_arguments(parser)
+    parser.add_argument(
+        "--tenant",
+        default="default",
+        help="tenant name for quota accounting (default 'default')",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="submit N random DAG jobs (default 1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload RNG seed for --jobs (default 0)",
+    )
+    parser.add_argument(
+        "--job-file",
+        default=None,
+        metavar="FILE",
+        help="submit the serialized job/jobset JSON in FILE instead of "
+        "random jobs",
+    )
+    parser.add_argument(
+        "--release-time",
+        type=int,
+        default=None,
+        metavar="T",
+        help="request release at virtual step T (clamped to the "
+        "service clock)",
+    )
+    parser.add_argument(
+        "--retry",
+        action="store_true",
+        help="honour retry_after and keep retrying rejected submissions "
+        "until admitted",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="after submitting, poll until every admitted job reaches a "
+        "terminal state and print its response time",
+    )
+    return parser
+
+
+def _submit_main(argv: list[str]) -> int:
+    """The ``krad submit`` subcommand: feed jobs to a running service."""
+    from repro.service import ServiceClient
+
+    args = _build_submit_parser().parse_args(argv)
+    try:
+        address = _connect_address(args)
+        if args.job_file is not None and (
+            args.jobs is not None or args.seed is not None
+        ):
+            raise ValueError(
+                "--job-file submits exactly the jobs in the file; "
+                "--jobs/--seed generate random ones — pick one source"
+            )
+        jobs: list = []
+        if args.job_file is not None:
+            import json as _json
+
+            from repro.io.serialize import job_from_dict, jobset_from_dict
+
+            with open(args.job_file, encoding="utf-8") as fh:
+                doc = _json.load(fh)
+            if doc.get("format") == "jobset":
+                jobs = list(jobset_from_dict(doc).jobs)
+            else:
+                jobs = [job_from_dict(doc)]
+        else:
+            import numpy as np
+
+            from repro.jobs import workloads
+
+            num = args.jobs if args.jobs is not None else 1
+            seed = args.seed if args.seed is not None else 0
+            with ServiceClient(address) as probe:
+                k = len(probe.stats()["capacities"])
+            rng = np.random.default_rng(seed)
+            jobs = list(
+                workloads.random_dag_jobset(rng, k, num, size_hint=20).jobs
+            )
+    except Exception as exc:
+        print(f"krad submit: {exc}", file=sys.stderr)
+        return 2
+
+    rejected = 0
+    admitted: list[int] = []
+    try:
+        with ServiceClient(address) as client:
+            for job in jobs:
+                if args.retry:
+                    ack = client.submit_blocking(
+                        args.tenant, job, release_time=args.release_time
+                    )
+                else:
+                    ack = client.submit(
+                        args.tenant, job, release_time=args.release_time
+                    )
+                if ack.get("ok"):
+                    admitted.append(ack["job_id"])
+                    print(
+                        f"job {ack['job_id']} tenant={ack['tenant']} "
+                        f"release={ack['release']}"
+                    )
+                else:
+                    rejected += 1
+                    print(
+                        f"rejected: {ack.get('reason')} "
+                        f"(retry_after={ack.get('retry_after')}): "
+                        f"{ack.get('error')}"
+                    )
+            if args.wait:
+                for jid in admitted:
+                    st = client.wait(jid)
+                    rt = st.get("response_time")
+                    print(
+                        f"job {jid} {st.get('state')}"
+                        + (f" response_time={rt}" if rt is not None else "")
+                    )
+    except Exception as exc:
+        print(f"krad submit: {exc}", file=sys.stderr)
+        return 2
+    return 1 if rejected else 0
+
+
+def _drain_main(argv: list[str]) -> int:
+    """The ``krad drain`` subcommand: drain a running service."""
+    parser = argparse.ArgumentParser(
+        prog="krad drain",
+        description=(
+            "Ask a running 'krad serve' to stop admitting, run its "
+            "backlog to completion, and print the drain summary (the "
+            "server exits once drained)"
+        ),
+    )
+    _add_connect_arguments(parser)
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print live service stats instead of draining",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import ServiceClient
+
+    try:
+        address = _connect_address(args)
+        with ServiceClient(address, timeout=120.0) as client:
+            if args.stats:
+                import json as _json
+
+                print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            summary = client.drain()
+    except Exception as exc:
+        print(f"krad drain: {exc}", file=sys.stderr)
+        return 2
+    if not summary.get("ok"):
+        print(f"krad drain: {summary.get('error')}", file=sys.stderr)
+        return 2
+    print(
+        f"drained at makespan {summary['makespan']}: "
+        f"{summary['completed']} completed, "
+        f"{len(summary['failed'])} failed, "
+        f"{len(summary['cancelled'])} cancelled"
+    )
+    for tenant in sorted(summary["per_tenant"]):
+        counts = summary["per_tenant"][tenant]
+        print(
+            f"  {tenant}: {counts['completed']} completed, "
+            f"{counts['failed']} failed, {counts['cancelled']} cancelled"
+        )
+    return 0 if not summary["failed"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -659,6 +1211,12 @@ def main(argv: list[str] | None = None) -> int:
         return _supervise_main(argv[1:])
     if argv and argv[0] == "recover":
         return _recover_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit_main(argv[1:])
+    if argv and argv[0] == "drain":
+        return _drain_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.upper()
 

@@ -64,3 +64,10 @@ class JournalError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload/job-set specifications."""
+
+
+class ServiceError(ReproError):
+    """Raised for online-service failures: bad service configuration,
+    protocol violations, or client transport errors.  Admission
+    *rejections* are not errors — they are ordinary responses carrying
+    a reason code and ``retry_after``."""

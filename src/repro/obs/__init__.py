@@ -152,6 +152,39 @@ class Observability:
             if quarantined:
                 self.bus.emit(t, "quarantine", job=job_id, monitor=monitor)
 
+    # ------------------------------------------------------------------
+    # service-facing hooks (repro.service; the engines never call these)
+    # ------------------------------------------------------------------
+    def on_submit(self, t, *, tenant, job_id, release):
+        if self.metrics is not None:
+            self.metrics.record_submission(tenant)
+        if self.bus.active:
+            self.bus.emit(
+                t, "submit", tenant=tenant, job=job_id, release=release
+            )
+
+    def on_reject(self, t, *, tenant, reason, retry_after):
+        if self.metrics is not None:
+            self.metrics.record_rejection(reason)
+        if self.bus.active:
+            self.bus.emit(
+                t,
+                "reject",
+                tenant=tenant,
+                reason=reason,
+                retry_after=retry_after,
+            )
+
+    def on_cancel(self, t, *, tenant, job_id):
+        if self.metrics is not None:
+            self.metrics.record_cancellation()
+        if self.bus.active:
+            self.bus.emit(t, "cancel", tenant=tenant, job=job_id)
+
+    def on_drain(self, t, *, completed, failed):
+        if self.bus.active:
+            self.bus.emit(t, "drain", completed=completed, failed=failed)
+
     def on_checkpoint(self, t):
         if self.metrics is not None:
             self.metrics.record_checkpoint()

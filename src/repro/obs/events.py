@@ -50,6 +50,10 @@ EVENT_KINDS = (
     "checkpoint",      # a full state snapshot was materialised
     "journal",         # one write-ahead journal record appended
     "run_end",         # final counters, once per run
+    "submit",          # service admitted an online job submission
+    "reject",          # service refused a submission (reason + retry_after)
+    "cancel",          # service withdrew a not-yet-released job
+    "drain",           # service stopped admissions and ran to completion
 )
 
 

@@ -349,6 +349,9 @@ class RunMetrics:
         self.checkpoints = 0
         self.incidents: dict[str, int] = {}
         self.journal_records: dict[str, int] = {}
+        self.submissions: dict[str, int] = {}
+        self.rejections: dict[str, int] = {}
+        self.cancellations = 0
         self.allocated = np.zeros(0, dtype=np.int64)
         self.desired = np.zeros(0, dtype=np.int64)
         self.transitions: list[dict[str, int]] = []
@@ -525,6 +528,18 @@ class RunMetrics:
             self.journal_records.get(record_type, 0) + 1
         )
 
+    def record_submission(self, tenant: str) -> None:
+        """One accepted online submission (service layer)."""
+        self.submissions[tenant] = self.submissions.get(tenant, 0) + 1
+
+    def record_rejection(self, reason: str) -> None:
+        """One refused submission, by admission reason code."""
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+
+    def record_cancellation(self) -> None:
+        """One not-yet-released job withdrawn by its submitter."""
+        self.cancellations += 1
+
     def record_run_start(self) -> None:
         self.runs += 1
 
@@ -599,6 +614,23 @@ class RunMetrics:
                 "write-ahead journal records by type",
                 type=rtype,
             ).inc(self.journal_records[rtype])
+        for tenant in sorted(self.submissions):
+            c(
+                "submissions_total",
+                "accepted online submissions by tenant",
+                tenant=tenant,
+            ).inc(self.submissions[tenant])
+        for reason in sorted(self.rejections):
+            c(
+                "rejections_total",
+                "refused submissions by admission reason",
+                reason=reason,
+            ).inc(self.rejections[reason])
+        if self.cancellations:
+            c(
+                "cancellations_total",
+                "pending jobs withdrawn by their submitter",
+            ).inc(self.cancellations)
         for alpha in range(self.allocated.shape[0]):
             c(
                 "allocated_processor_steps_total",

@@ -1,0 +1,50 @@
+"""repro.service — a long-running online scheduling service.
+
+The batch pipeline answers "how long would this job set take?"; this
+package answers "what happens when the jobs arrive *while the machine
+runs*?".  It wraps a live simulator (reference or fast engine) behind a
+small daemon with:
+
+* **admission control** (:mod:`repro.service.admission`): per-tenant
+  quotas, whole-service backpressure, and optional load shedding driven
+  by a Theorem-3 completion certificate — every rejection carries a
+  machine-readable reason and a ``retry_after`` hint;
+* **multi-tenant fairness** (:mod:`repro.service.queue`): racing
+  submissions are admitted round-robin across tenants;
+* **durability**: with a journal armed, every ack is crash-safe —
+  ``SchedulingService.recover`` rebuilds the exact pre-crash engine
+  state *and* the tenant accounting from the write-ahead journal;
+* **live telemetry**: a ``/metrics`` HTTP endpoint and per-submission
+  bus events, on the observability layer the batch pipeline already
+  uses.
+
+:class:`~repro.service.core.SchedulingService` is the in-process core;
+:class:`~repro.service.server.ServiceServer` puts it on a socket;
+:class:`~repro.service.client.ServiceClient` talks to it.  The CLI
+front ends are ``krad serve`` / ``krad submit`` / ``krad drain``.
+"""
+
+from repro.service.admission import (
+    REASON_CODES,
+    AdmissionController,
+    AdmissionDecision,
+    theorem3_certificate,
+)
+from repro.service.client import ServiceClient, fetch_metrics_text
+from repro.service.core import SchedulingService, ServiceConfig
+from repro.service.queue import FairSubmissionQueue
+from repro.service.server import ServiceServer, ThreadedServer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "FairSubmissionQueue",
+    "REASON_CODES",
+    "SchedulingService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "ThreadedServer",
+    "fetch_metrics_text",
+    "theorem3_certificate",
+]

@@ -1,0 +1,207 @@
+"""Blocking NDJSON client for the scheduling service.
+
+:class:`ServiceClient` opens one socket (TCP ``(host, port)`` tuple or
+Unix path string), sends one JSON object per line and reads one JSON
+object per line — the protocol of :mod:`repro.service.server`.  It is
+deliberately synchronous: experiment drivers and tests call it like a
+library, and the CLI's ``krad submit``/``krad drain`` are thin wrappers
+around it.
+
+Transport failures raise :class:`~repro.errors.ServiceError`; admission
+rejections do **not** — they come back as ordinary ``{"ok": false,
+"reason": ..., "retry_after": ...}`` responses.
+:meth:`ServiceClient.submit_blocking` turns the ``retry_after`` hint
+into actual backoff for callers that just want the job admitted.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.request
+
+from repro.errors import ServiceError
+from repro.jobs.base import Job
+
+__all__ = ["ServiceClient", "fetch_metrics_text"]
+
+#: job states that end a wait()
+_TERMINAL_STATES = ("completed", "failed", "quarantined", "cancelled")
+
+
+def fetch_metrics_text(address: tuple[str, int], *, timeout: float = 5.0) -> str:
+    """Scrape ``GET /metrics`` from a live service's HTTP endpoint."""
+    host, port = address
+    url = f"http://{host}:{port}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.read().decode("utf-8")
+    except OSError as exc:
+        raise ServiceError(f"cannot scrape {url}: {exc}") from exc
+
+
+class ServiceClient:
+    """One blocking connection to a running :class:`ServiceServer`.
+
+    ``address`` is a ``(host, port)`` tuple for TCP or a string path
+    for a Unix socket.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int] | list | str,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self.address = address
+        self.timeout = float(timeout)
+        try:
+            if isinstance(address, str):
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(self.timeout)
+                self._sock.connect(address)
+            else:
+                host, port = address
+                self._sock = socket.create_connection(
+                    (host, int(port)), timeout=self.timeout
+                )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to service at {address!r}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return its response object."""
+        try:
+            self._file.write(
+                json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+            )
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(
+                f"service connection to {self.address!r} failed: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceError(
+                f"service at {self.address!r} closed the connection"
+            )
+        try:
+            resp = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(
+                f"malformed response from service: {exc}"
+            ) from exc
+        if not isinstance(resp, dict):
+            raise ServiceError("malformed response from service: not an object")
+        return resp
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        job: Job | dict,
+        *,
+        release_time: int | None = None,
+    ) -> dict:
+        """Submit one job; returns the ack or rejection verbatim."""
+        if isinstance(job, Job):
+            from repro.io.serialize import job_to_dict
+
+            job = job_to_dict(job)
+        payload: dict = {"op": "submit", "tenant": tenant, "job": job}
+        if release_time is not None:
+            payload["release_time"] = int(release_time)
+        return self.request(payload)
+
+    def submit_blocking(
+        self,
+        tenant: str,
+        job: Job | dict,
+        *,
+        release_time: int | None = None,
+        max_tries: int = 64,
+        backoff: float = 0.01,
+    ) -> dict:
+        """Submit and honour ``retry_after`` until admitted.
+
+        Retries rejections (scaling the wall-clock backoff by the
+        service's ``retry_after`` hint in virtual steps) up to
+        ``max_tries``; raises :class:`ServiceError` if the service is
+        draining or the tries run out.
+        """
+        last: dict = {}
+        for _ in range(max_tries):
+            last = self.submit(tenant, job, release_time=release_time)
+            if last.get("ok"):
+                return last
+            if last.get("reason") == "draining":
+                break
+            time.sleep(backoff * max(1, int(last.get("retry_after", 1))))
+        raise ServiceError(
+            f"submission for tenant {tenant!r} not admitted: "
+            f"{last.get('reason')}: {last.get('error')}"
+        )
+
+    def status(self, job_id: int) -> dict:
+        return self.request({"op": "status", "job_id": int(job_id)})
+
+    def cancel(self, job_id: int) -> dict:
+        return self.request({"op": "cancel", "job_id": int(job_id)})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def metrics_text(self) -> str:
+        resp = self.request({"op": "metrics"})
+        if not resp.get("ok"):
+            raise ServiceError(f"metrics op failed: {resp.get('error')}")
+        return resp["text"]
+
+    def drain(self) -> dict:
+        """Request drain; blocks until the backlog ran to completion."""
+        return self.request({"op": "drain"})
+
+    def wait(
+        self,
+        job_id: int,
+        *,
+        poll: float = 0.01,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Poll ``status`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            resp = self.status(job_id)
+            if not resp.get("ok"):
+                return resp
+            if resp.get("state") in _TERMINAL_STATES:
+                return resp
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state {resp.get('state')!r})"
+                )
+            time.sleep(poll)

@@ -1,0 +1,81 @@
+"""Multi-tenant fair submission queue.
+
+Submissions wait here between the wire and admission control, one FIFO
+lane per tenant, drained in round-robin order over the tenants that
+currently hold work.  The rotation pointer persists across drains, so a
+tenant that streams submissions cannot starve a tenant that trickles
+them: each full rotation serves every backlogged tenant exactly once.
+
+The queue is a plain deterministic data structure — no clocks, no
+randomness — so a journal replay that re-enqueues the same submissions
+in the same order pops them in the same order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+__all__ = ["FairSubmissionQueue"]
+
+
+class FairSubmissionQueue:
+    """Round-robin-fair FIFO over per-tenant lanes.
+
+    ``push(tenant, item)`` appends to the tenant's lane (new tenants
+    join the rotation at the back); ``pop()`` returns the next
+    ``(tenant, item)`` in rotation order.  Per-tenant FIFO order is
+    always preserved; cross-tenant order is the round-robin rotation.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: dict[str, deque] = {}
+        #: rotation of tenants that currently hold queued items
+        self._rotation: deque[str] = deque()
+
+    def push(self, tenant: str, item: Any) -> None:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+        if not lane:
+            self._rotation.append(tenant)
+        lane.append(item)
+
+    def pop(self) -> tuple[str, Any]:
+        """Next ``(tenant, item)`` in round-robin order.
+
+        Raises :class:`IndexError` when empty, like ``deque.popleft``.
+        """
+        if not self._rotation:
+            raise IndexError("pop from an empty FairSubmissionQueue")
+        tenant = self._rotation.popleft()
+        lane = self._lanes[tenant]
+        item = lane.popleft()
+        if lane:
+            # still backlogged: rejoin the rotation at the back, after
+            # every other currently-backlogged tenant
+            self._rotation.append(tenant)
+        return tenant, item
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._rotation)
+
+    def depth(self, tenant: str) -> int:
+        lane = self._lanes.get(tenant)
+        return len(lane) if lane is not None else 0
+
+    def depths(self) -> dict[str, int]:
+        """Queued items per tenant (empty lanes omitted)."""
+        return {t: len(q) for t, q in self._lanes.items() if q}
+
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants with queued work, in current rotation order."""
+        return tuple(self._rotation)
+
+    def drain(self) -> Iterator[tuple[str, Any]]:
+        """Pop until empty (used to reject the residue on shutdown)."""
+        while self._rotation:
+            yield self.pop()

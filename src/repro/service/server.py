@@ -1,0 +1,418 @@
+"""The wire layer: asyncio NDJSON control socket + live ``/metrics`` HTTP.
+
+One :class:`ServiceServer` wraps one
+:class:`~repro.service.core.SchedulingService` and serves:
+
+* a **control socket** (TCP or Unix) speaking newline-delimited JSON —
+  one request object per line, one response object per line, in order,
+  over any number of concurrent connections;
+* an optional **metrics endpoint** — a deliberately tiny HTTP/1.0
+  responder whose ``GET /metrics`` returns the live Prometheus text of
+  the running service (``GET /healthz`` returns a one-line JSON pulse).
+
+Wire operations (the ``op`` field): ``submit``, ``status``, ``cancel``,
+``drain``, ``stats``, plus ``ping`` and ``metrics`` conveniences.
+Submissions do not hit admission directly: they pass through the
+:class:`~repro.service.queue.FairSubmissionQueue`, so when several
+tenants race, admission slots are granted round-robin across tenants
+rather than to whoever floods the socket fastest.  The ack each client
+awaits is the admission outcome for *its* submission.
+
+Everything runs on one event loop thread — the service object is
+synchronous and never touched concurrently, which keeps the engine's
+determinism contract without locks.  A background ticker advances the
+engine in ``step_slice`` increments whenever admitted work exists;
+virtual time freezes while the service is idle.
+
+:class:`ThreadedServer` runs the same server on a daemon thread for
+in-process tests and notebooks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.errors import ReproError, ServiceError
+from repro.service.core import SchedulingService
+from repro.service.queue import FairSubmissionQueue
+
+__all__ = ["ServiceServer", "ThreadedServer"]
+
+#: ops handled inline (no admission queueing)
+_IMMEDIATE_OPS = ("status", "cancel", "stats", "ping", "metrics")
+
+
+class ServiceServer:
+    """Serve one :class:`SchedulingService` over NDJSON + HTTP metrics.
+
+    Parameters
+    ----------
+    service:
+        The service to expose.
+    host, port:
+        TCP bind for the control socket (``port=0`` picks an ephemeral
+        port, reported by :attr:`address` after :meth:`start`).
+    unix_path:
+        Bind the control socket to a Unix socket path instead of TCP.
+    metrics_port:
+        ``None`` disables the HTTP endpoint; ``0`` binds an ephemeral
+        port (see :attr:`metrics_address`).
+    tick_interval:
+        Wall-clock seconds between engine slices while work exists.
+    """
+
+    def __init__(
+        self,
+        service: SchedulingService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: str | None = None,
+        metrics_port: int | None = None,
+        tick_interval: float = 0.002,
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._metrics_port = metrics_port
+        self._tick_interval = float(tick_interval)
+        self._queue = FairSubmissionQueue()
+        self._work: asyncio.Event | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._drained: asyncio.Event | None = None
+        self._stopping = False
+        self.address: tuple[str, int] | str | None = None
+        self.metrics_address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind sockets and start the dispatcher and ticker tasks."""
+        if self._server is not None:
+            raise ServiceError("server already started")
+        self._work = asyncio.Event()
+        self._drained = asyncio.Event()
+        if self._unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=self._unix_path
+            )
+            self.address = self._unix_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=self._host, port=self._port
+            )
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+        if self._metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_http, host=self._host, port=self._metrics_port
+            )
+            sock = self._metrics_server.sockets[0]
+            self.metrics_address = sock.getsockname()[:2]
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._dispatch_loop()),
+            loop.create_task(self._tick_loop()),
+        ]
+
+    async def serve_until_drained(self) -> None:
+        """Block until a ``drain`` request completes, then shut down."""
+        assert self._drained is not None, "call start() first"
+        await self._drained.wait()
+        # Let in-flight responses (the drain summary itself) flush
+        # before the sockets go away.
+        await asyncio.sleep(0.05)
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close sockets and cancel background tasks (idempotent)."""
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        for srv in (self._server, self._metrics_server):
+            if srv is not None:
+                srv.close()
+                await srv.wait_closed()
+        self._server = None
+        self._metrics_server = None
+        # Reject anything still waiting in the fair queue.
+        for _tenant, (_payload, fut) in self._queue.drain():
+            if not fut.done():
+                fut.set_result(
+                    {
+                        "ok": False,
+                        "error": "server shut down before admission",
+                        "reason": "draining",
+                        "retry_after": 1,
+                    }
+                )
+
+    # ------------------------------------------------------------------
+    # background loops
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Admit queued submissions round-robin across tenants."""
+        assert self._work is not None
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            while self._queue:
+                tenant, (payload, fut) = self._queue.pop()
+                resp = self._do_submit(tenant, payload)
+                if not fut.done():
+                    fut.set_result(resp)
+                # Yield between admissions so connections make progress
+                # even under a flood of queued submissions.
+                await asyncio.sleep(0)
+
+    def _do_submit(self, tenant: str, payload: dict) -> dict:
+        # Catch broadly: one malformed payload must never kill the
+        # dispatcher, or every queued submission behind it would hang.
+        try:
+            job = payload["job"]
+            release = payload.get("release_time")
+            return self.service.submit(
+                tenant,
+                job,
+                release_time=None if release is None else int(release),
+            )
+        except Exception as exc:  # noqa: BLE001 - wire-facing boundary
+            return {"ok": False, "error": f"bad submit request: {exc}"}
+
+    async def _tick_loop(self) -> None:
+        """Advance the engine while admitted work exists."""
+        while not self._stopping:
+            if self.service.result is None:
+                quiescent = self.service.tick()
+            else:
+                quiescent = True
+            # Idle (or drained) services poll slowly; busy ones fast.
+            await asyncio.sleep(
+                self._tick_interval * (10 if quiescent else 1)
+            )
+
+    # ------------------------------------------------------------------
+    # control-socket protocol
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = json.loads(line)
+                    if not isinstance(payload, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    resp = {"ok": False, "error": f"bad request: {exc}"}
+                else:
+                    resp = await self._handle_request(payload)
+                writer.write(
+                    json.dumps(resp, separators=(",", ":")).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,  # server shutdown mid-connection
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(self, payload: dict) -> dict:
+        op = payload.get("op")
+        svc = self.service
+        try:
+            if op == "submit":
+                tenant = payload.get("tenant")
+                if not isinstance(tenant, str) or not tenant:
+                    return {
+                        "ok": False,
+                        "error": "submit needs a non-empty tenant string",
+                    }
+                fut: asyncio.Future = (
+                    asyncio.get_running_loop().create_future()
+                )
+                self._queue.push(tenant, (payload, fut))
+                assert self._work is not None
+                self._work.set()
+                return await fut
+            if op == "status":
+                return svc.status(int(payload["job_id"]))
+            if op == "cancel":
+                return svc.cancel(int(payload["job_id"]))
+            if op == "stats":
+                return svc.stats()
+            if op == "ping":
+                return {"ok": True, "clock": svc.clock}
+            if op == "metrics":
+                return {"ok": True, "text": svc.metrics_text()}
+            if op == "drain":
+                return await self._do_drain()
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"bad {op} request: {exc}"}
+
+    async def _do_drain(self) -> dict:
+        # Let already-queued submissions reach admission first: a drain
+        # rejects everything *after* it, not racing work before it.
+        while self._queue:
+            await asyncio.sleep(0)
+        summary = self.service.drain()
+        assert self._drained is not None
+        self._drained.set()
+        return summary
+
+    # ------------------------------------------------------------------
+    # metrics endpoint
+    # ------------------------------------------------------------------
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers up to the blank line
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            path = parts[1].decode("ascii", "replace") if len(parts) > 1 else ""
+            if path.rstrip("/") == "/metrics" or path == "/":
+                body = self.service.metrics_text().encode()
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/healthz":
+                body = (
+                    json.dumps(
+                        {
+                            "ok": True,
+                            "clock": self.service.clock,
+                            "draining": self.service.draining,
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+                status = "200 OK"
+                ctype = "application/json"
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+                ctype = "text/plain"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+class ThreadedServer:
+    """Run a :class:`ServiceServer` on a daemon thread.
+
+    For tests and notebooks: ``start()`` blocks until the sockets are
+    bound (so :attr:`address`/:attr:`metrics_address` are usable),
+    ``stop()`` shuts the loop down.  Exceptions raised during startup
+    re-raise in the caller.
+    """
+
+    def __init__(self, service: SchedulingService, **server_kwargs) -> None:
+        self.server = ServiceServer(service, **server_kwargs)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def address(self):
+        return self.server.address
+
+    @property
+    def metrics_address(self):
+        return self.server.metrics_address
+
+    def start(self) -> "ThreadedServer":
+        if self._thread is not None:
+            raise ServiceError("ThreadedServer already started")
+        self._thread = threading.Thread(
+            target=self._run, name="krad-service", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # startup failed: report and bail
+                self._startup_error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_forever()
+            loop.run_until_complete(self.server.stop())
+            # Settle whatever the stop left behind (half-closed
+            # connection handlers) before the loop goes away, so no
+            # transport destructor fires on a closed loop.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ThreadedServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -3,8 +3,10 @@
 from repro.sim.conformance import (
     ConformanceReport,
     assert_conformant,
+    assert_sliced_conformant,
     result_fingerprint,
     run_conformance,
+    run_sliced_conformance,
     trace_fingerprint,
 )
 from repro.sim.engine import (
@@ -74,10 +76,12 @@ __all__ = [
     "FastSimulator",
     "Simulator",
     "assert_conformant",
+    "assert_sliced_conformant",
     "engine_class",
     "get_default_engine",
     "result_fingerprint",
     "run_conformance",
+    "run_sliced_conformance",
     "set_default_engine",
     "simulate",
     "trace_fingerprint",

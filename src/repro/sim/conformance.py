@@ -40,8 +40,10 @@ from repro.sim.results import SimulationResult
 __all__ = [
     "ConformanceReport",
     "assert_conformant",
+    "assert_sliced_conformant",
     "result_fingerprint",
     "run_conformance",
+    "run_sliced_conformance",
     "trace_fingerprint",
 ]
 
@@ -91,6 +93,8 @@ class ConformanceReport:
     robustness: dict[str, dict]
     journal_digests: dict[str, list]
     mismatches: list[str] = field(default_factory=list)
+    #: per-engine action log of a sliced run (empty for batch runs)
+    slices: dict[str, list] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -179,12 +183,19 @@ def run_conformance(
         robustness=robustness,
         journal_digests=journal_digests,
     )
+    _diff_reports(report, check_journal=check_journal)
+    return report
+
+
+def _diff_reports(report: ConformanceReport, *, check_journal: bool) -> None:
+    """Populate ``report.mismatches`` by pairwise store comparison."""
+    engines = report.engines
     base = engines[0]
     for other in engines[1:]:
         for name, store in (
-            ("result", fingerprints),
-            ("metrics", metrics),
-            ("robustness", robustness),
+            ("result", report.fingerprints),
+            ("metrics", report.metrics),
+            ("robustness", report.robustness),
         ):
             if store[base] != store[other]:
                 diff = {
@@ -195,6 +206,7 @@ def run_conformance(
                 report.mismatches.append(
                     f"{name} mismatch {base} vs {other}: {diff!r}"
                 )
+        traces = report.traces
         if traces[base] != traces[other]:
             detail = (
                 _first_trace_divergence(traces[base], traces[other])
@@ -204,6 +216,24 @@ def run_conformance(
             report.mismatches.append(
                 f"trace mismatch {base} vs {other}: {detail}"
             )
+        if report.slices and report.slices[base] != report.slices[other]:
+            pairs = zip(report.slices[base], report.slices[other])
+            first = next(
+                (
+                    (i, a, b)
+                    for i, (a, b) in enumerate(pairs)
+                    if a != b
+                ),
+                (
+                    "length",
+                    len(report.slices[base]),
+                    len(report.slices[other]),
+                ),
+            )
+            report.mismatches.append(
+                f"slice log mismatch {base} vs {other} at {first!r}"
+            )
+        journal_digests = report.journal_digests
         if check_journal and journal_digests[base] != journal_digests[other]:
             pairs = zip(journal_digests[base], journal_digests[other])
             step = next(
@@ -213,7 +243,6 @@ def run_conformance(
             report.mismatches.append(
                 f"journal digest mismatch {base} vs {other} from {step!r}"
             )
-    return report
 
 
 def assert_conformant(
@@ -229,5 +258,158 @@ def assert_conformant(
     if not report.ok:
         raise AssertionError(
             "engines diverged:\n" + "\n".join(report.mismatches)
+        )
+    return report
+
+
+def run_sliced_conformance(
+    build: Callable[[], dict],
+    script: Callable[[], list],
+    *,
+    engines: tuple[str, ...] = ("reference", "fast"),
+    check_journal: bool = False,
+) -> ConformanceReport:
+    """Differential test of the *online* engine surface.
+
+    Drives each engine through the same interleaving of partial
+    advances and late submissions — the access pattern of the
+    scheduling service — instead of one monolithic ``run()``:
+
+    * ``build`` is the same zero-argument scenario factory
+      :func:`run_conformance` takes (constructor kwargs; ``seed``
+      mandatory, fresh instances per engine);
+    * ``script`` is a zero-argument factory returning the action list,
+      invoked once per engine (injected jobs are stateful too).  Each
+      action is a dict: ``{"advance_to": t}`` slices the run forward
+      via ``advance_until``; ``{"inject": job}`` (optional
+      ``release_time``, ``meta``) submits a job mid-run;
+      ``{"cancel": job_id}`` withdraws an unarrived one.
+
+    After every action the engine's state ``digest()`` is recorded —
+    the slice logs must match *action by action*, so a divergence
+    pinpoints the exact inject/advance that broke equivalence rather
+    than surfacing as a different final makespan.  The script's residue
+    is then finalized with ``run()`` and compared with the full batch
+    fingerprint/trace/metrics machinery.  With ``check_journal`` each
+    engine additionally journals the driven run and the journal's
+    step/submit/cancel record sequence (with per-step digests) must
+    match — proving the service's crash-recovery substrate is
+    engine-independent.
+    """
+    from repro.sim.engine import engine_class
+
+    fingerprints: dict[str, dict] = {}
+    traces: dict[str, dict | None] = {}
+    robustness: dict[str, dict] = {}
+    journal_digests: dict[str, list] = {}
+    slice_logs: dict[str, list] = {}
+    for engine in engines:
+        kwargs = build()
+        machine = kwargs.pop("machine")
+        scheduler = kwargs.pop("scheduler")
+        jobset = kwargs.pop("jobset")
+        if "seed" not in kwargs:
+            raise ReproError(
+                "conformance scenarios must pin a seed: digests cover the "
+                "RNG state, so auto-seeded runs differ trivially"
+            )
+        kwargs.pop("journal", None)  # journaling is driven by check_journal
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = None
+            if check_journal:
+                journal = Journal(os.path.join(tmp, f"{engine}.journal"))
+            sim = engine_class(engine)(
+                machine, scheduler, jobset, journal=journal, **kwargs
+            )
+            log: list = []
+            for action in script():
+                if "advance_to" in action:
+                    quiescent = sim.advance_until(int(action["advance_to"]))
+                    log.append(
+                        ("advance", sim.clock, quiescent, sim.digest())
+                    )
+                elif "inject" in action:
+                    release = sim.inject_job(
+                        action["inject"],
+                        release_time=action.get("release_time"),
+                        meta=action.get("meta"),
+                    )
+                    log.append(
+                        (
+                            "inject",
+                            action["inject"].job_id,
+                            release,
+                            sim.digest(),
+                        )
+                    )
+                elif "cancel" in action:
+                    sim.cancel_pending(int(action["cancel"]))
+                    log.append(
+                        ("cancel", int(action["cancel"]), sim.digest())
+                    )
+                else:
+                    raise ReproError(
+                        f"unknown sliced-conformance action {action!r}"
+                    )
+            result = sim.run()
+            if check_journal:
+                records, _, clean = read_journal(journal.path)
+                digests = []
+                for rec in records:
+                    if rec.type == "step":
+                        digests.append(
+                            ("step", rec.data["t"], rec.data["digest"])
+                        )
+                    elif rec.type == "submit":
+                        digests.append(
+                            (
+                                "submit",
+                                rec.data["t"],
+                                rec.data["job"]["static"]["job_id"],
+                            )
+                        )
+                    elif rec.type == "cancel":
+                        digests.append(
+                            ("cancel", rec.data["t"], rec.data["job_id"])
+                        )
+                if not clean:
+                    digests.append(("truncated", True))
+                journal_digests[engine] = digests
+        slice_logs[engine] = log
+        fingerprints[engine] = result_fingerprint(result)
+        traces[engine] = trace_fingerprint(result)
+        robustness[engine] = summarize_robustness(result).to_dict()
+
+    report = ConformanceReport(
+        engines=tuple(engines),
+        fingerprints=fingerprints,
+        traces=traces,
+        # per-job metrics need the pre-run job set; injected jobs make
+        # that ill-defined here, and the fingerprint already covers
+        # every completion/release time
+        metrics={engine: {} for engine in engines},
+        robustness=robustness,
+        journal_digests=journal_digests,
+        slices=slice_logs,
+    )
+    _diff_reports(report, check_journal=check_journal)
+    return report
+
+
+def assert_sliced_conformant(
+    build: Callable[[], dict],
+    script: Callable[[], list],
+    *,
+    engines: tuple[str, ...] = ("reference", "fast"),
+    check_journal: bool = False,
+) -> ConformanceReport:
+    """:func:`run_sliced_conformance`, raising on any divergence."""
+    report = run_sliced_conformance(
+        build, script, engines=engines, check_journal=check_journal
+    )
+    if not report.ok:
+        raise AssertionError(
+            "engines diverged under sliced execution:\n"
+            + "\n".join(report.mismatches)
         )
     return report

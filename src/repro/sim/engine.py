@@ -52,6 +52,7 @@ capacity schedule, churn schedule, fault model, retry policy, supervisor).
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from time import perf_counter
 
 import numpy as np
@@ -515,6 +516,254 @@ class Simulator:
         if self._unfinished():
             return None
         return self._finalize()
+
+    # ------------------------------------------------------------------
+    # online submission (the repro.service layer builds on these)
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """Current virtual step (0 before the first step executes)."""
+        return self._state.t if self._state is not None else 0
+
+    @property
+    def finished(self) -> bool:
+        """True once the run has been finalized into a result."""
+        return self._result is not None
+
+    def advance_until(self, t_stop: int) -> bool:
+        """Advance the clock to ``t_stop`` without ever finalizing.
+
+        The online counterpart of :meth:`run_until`: when the system
+        drains it simply stops stepping and reports quiescence instead
+        of producing a :class:`SimulationResult`, so further
+        :meth:`inject_job` calls can keep the same run going.  Returns
+        ``True`` when no admitted work remains (quiescent), ``False``
+        when it stopped at the time budget with work outstanding.
+        """
+        if self._result is not None:
+            raise SimulationError(
+                "this simulator already ran to completion; "
+                "advance_until needs a live run"
+            )
+        self._ensure_started()
+        while self._unfinished() and self._state.t < t_stop:
+            self._step()
+        return not self._unfinished()
+
+    def inject_job(
+        self,
+        job: Job,
+        *,
+        release_time: int | None = None,
+        meta: dict | None = None,
+    ) -> int:
+        """Admit one new job into a *running* simulation.
+
+        This is the online-arrival primitive Theorem 3 licenses: K-RAD
+        needs no arrival knowledge, so jobs may be appended to the
+        pending set while the clock is live.  The job must target the
+        same ``K``, carry an id unseen by this run, and release no
+        earlier than the current clock (``release_time`` overrides the
+        job's own; the past cannot be rewritten).  Returns the effective
+        release time.
+
+        Journaled runs write a ``submit`` record (with the optional
+        opaque ``meta``, e.g. the owning tenant) so :meth:`recover`
+        replays online arrivals in their exact original order.
+        """
+        if self._result is not None:
+            raise SimulationError(
+                "cannot inject into a finished run"
+            )
+        self._ensure_started()
+        st = self._state
+        if job.num_categories != self._machine.num_categories:
+            raise SimulationError(
+                f"job {job.job_id} has K={job.num_categories}, machine "
+                f"has K={self._machine.num_categories}"
+            )
+        if job.is_complete:
+            raise SimulationError(
+                f"job {job.job_id} has already executed; inject a fresh "
+                "copy (job.fresh_copy()) instead"
+            )
+        jid = job.job_id
+        if (
+            jid in st.release
+            or jid in st.completion
+            or jid in st.alive
+            or jid in st.quarantined
+            or jid in st.attempts
+            or any(j.job_id == jid for j in st.pending)
+            or any(e[1] == jid for e in st.resubmit)
+        ):
+            raise SimulationError(
+                f"job id {jid} is already known to this run; submissions "
+                "need fresh ids"
+            )
+        if release_time is not None:
+            job.release_time = int(release_time)
+        if job.release_time < st.t:
+            raise SimulationError(
+                f"job {jid} releases at {job.release_time}, before the "
+                f"current clock {st.t}; online arrivals cannot rewrite "
+                "the past"
+            )
+        # Keep the unarrived suffix in the (release, id) order the
+        # pending list was built with, so the arrival scan stays exact.
+        insort(
+            st.pending,
+            job,
+            lo=st.next_pending,
+            key=lambda j: (j.release_time, j.job_id),
+        )
+        st.release[jid] = job.release_time
+        self._grow_max_steps(job)
+        if self._journal is not None:
+            from repro.io.serialize import job_snapshot_to_dict
+
+            record = {"t": st.t, "job": job_snapshot_to_dict(job)}
+            if meta:
+                record["meta"] = dict(meta)
+            self._journal_put("submit", record)
+        return job.release_time
+
+    def _grow_max_steps(self, job: Job) -> None:
+        """Deterministically widen the safety valve for an injected job.
+
+        Mirrors the constructor's bound: add the job's own work+span
+        allowance and keep at least the single-job bound implied by its
+        release.  Growth is monotone and a pure function of the
+        submission sequence, so journal replay reproduces it exactly
+        (``max_steps`` is part of every checkpoint).
+        """
+        work = int(job.work_vector().sum())
+        span = int(job.span())
+        grow = 2 * (work + span) + 16
+        floor = 2 * (work + span + int(job.release_time)) + 16
+        if self._faulty:
+            grow = 32 * grow
+            floor = 32 * floor + self._max_stall_steps
+        self._max_steps = max(self._max_steps + grow, floor)
+
+    def cancel_pending(self, job_id: int) -> Job:
+        """Withdraw a not-yet-arrived job from a running simulation.
+
+        Only jobs still waiting in the pending suffix can be cancelled —
+        once a job has arrived (or is retrying after a kill) its
+        execution history is part of the run and cannot be unwound.
+        Returns the withdrawn job; raises :class:`SimulationError`
+        naming the actual state otherwise.  Journaled runs write a
+        ``cancel`` record so recovery replays the withdrawal.
+        """
+        if self._result is not None:
+            raise SimulationError("cannot cancel in a finished run")
+        self._ensure_started()
+        st = self._state
+        for i in range(st.next_pending, len(st.pending)):
+            if st.pending[i].job_id == job_id:
+                job = st.pending.pop(i)
+                st.release.pop(job_id, None)
+                if self._journal is not None:
+                    self._journal_put(
+                        "cancel", {"t": st.t, "job_id": int(job_id)}
+                    )
+                return job
+        if job_id in st.alive:
+            raise SimulationError(
+                f"job {job_id} is already running; only not-yet-released "
+                "jobs can be cancelled"
+            )
+        if job_id in st.completion:
+            raise SimulationError(f"job {job_id} already completed")
+        if any(e[1] == job_id for e in st.resubmit):
+            raise SimulationError(
+                f"job {job_id} is retrying after a kill; retries cannot "
+                "be cancelled"
+            )
+        raise SimulationError(f"job {job_id} is not pending in this run")
+
+    def job_state(self, job_id: int) -> str:
+        """Lifecycle state of one job id, as seen by the live run.
+
+        One of ``pending`` (admitted, not yet arrived), ``running``
+        (arrived, uncompleted), ``retrying`` (killed, awaiting
+        resubmission), ``completed``, ``failed`` (retries exhausted or
+        no retry policy), ``quarantined``, or ``unknown``.
+        """
+        self._ensure_started()
+        st = self._state
+        if job_id in st.alive:
+            return "running"
+        if job_id in st.completion:
+            return "completed"
+        if job_id in st.quarantined:
+            return "quarantined"
+        if job_id in st.failed_jobs:
+            return "failed"
+        if any(e[1] == job_id for e in st.resubmit):
+            return "retrying"
+        for j in st.pending[st.next_pending :]:
+            if j.job_id == job_id:
+                return "pending"
+        return "unknown"
+
+    def completion_time(self, job_id: int) -> int | None:
+        """Completion step of ``job_id``, or ``None`` while unfinished."""
+        self._ensure_started()
+        return self._state.completion.get(job_id)
+
+    def queue_depths(self) -> dict[str, int]:
+        """Aggregate occupancy counters of the live run (id-only; cheap)."""
+        self._ensure_started()
+        st = self._state
+        return {
+            "pending": len(st.pending) - st.next_pending + len(st.resubmit),
+            "running": len(st.alive),
+            "completed": len(st.completion),
+            "failed": len(st.failed_jobs),
+            "quarantined": len(st.quarantined),
+        }
+
+    def backlog_vector(self) -> np.ndarray:
+        """Remaining work, per category, of every admitted unfinished job.
+
+        Sums live jobs' remaining work plus the full work of unarrived
+        pending and resubmitted jobs — the ``W_alpha`` terms of a
+        Lemma-2-style completion certificate for the current backlog.
+        """
+        self._ensure_started()
+        st = self._state
+        total = np.zeros(self._machine.num_categories, dtype=np.int64)
+        for job in st.alive.values():
+            total += job.remaining_work_vector()
+        for job in st.pending[st.next_pending :]:
+            total += job.work_vector()
+        for _r, _jid, job in st.resubmit:
+            total += job.work_vector()
+        return total
+
+    def backlog_span(self) -> int:
+        """``max_i (release-slack_i + span_i)`` over the current backlog.
+
+        For live jobs the slack is zero and the span is the remaining
+        critical path; for unarrived jobs the slack is how far in the
+        future they release.  This is the span term of the Lemma-2
+        bound measured from *now* instead of from t=0.
+        """
+        self._ensure_started()
+        st = self._state
+        t = st.t
+        worst = 0
+        for job in st.alive.values():
+            worst = max(worst, int(job.remaining_span()))
+        for job in st.pending[st.next_pending :]:
+            worst = max(
+                worst, max(0, job.release_time - t) + int(job.span())
+            )
+        for r, _jid, job in st.resubmit:
+            worst = max(worst, max(0, r - t) + int(job.span()))
+        return worst
 
     # ------------------------------------------------------------------
     def _step(self) -> None:
@@ -1242,6 +1491,7 @@ class Simulator:
         supervisor: Supervisor | None = None,
         churn: ChurnSchedule | None = None,
         journal=None,
+        obs: Observability | None = None,
     ) -> "Simulator":
         """Rebuild a mid-run simulator from a :meth:`checkpoint` snapshot.
 
@@ -1321,6 +1571,7 @@ class Simulator:
             supervisor=supervisor,
             churn=churn,
             max_stall_steps=eng["max_stall_steps"],
+            obs=obs,
         )
         scheduler.reset(machine)
         scheduler.load_state_dict(data["scheduler"]["state"])
@@ -1393,6 +1644,7 @@ class Simulator:
         fault_model=None,
         retry_policy=None,
         fsync: bool = True,
+        obs: Observability | None = None,
     ) -> "Simulator":
         """Rebuild a crashed run from its write-ahead journal.
 
@@ -1497,11 +1749,24 @@ class Simulator:
             retry_policy=retry_policy,
             supervisor=supervisor,
             churn=churn,
+            obs=obs,
         )
         # Replay the steps journaled after the checkpoint, digest-checked.
         # One step record == one _step() call (idle fast-forwards happen
-        # *inside* a step), so the mapping is exact.
+        # *inside* a step), so the mapping is exact.  Online arrivals and
+        # withdrawals (``submit``/``cancel`` records, written by
+        # :meth:`inject_job` / :meth:`cancel_pending`) are re-applied at
+        # their exact journal position, so the interleaving with steps —
+        # and therefore every subsequent digest — is reproduced.
+        from repro.io.serialize import job_snapshot_from_dict
+
         for rec in records[ckpt_idx + 1 :]:
+            if rec.type == "submit":
+                sim.inject_job(job_snapshot_from_dict(rec.data["job"]))
+                continue
+            if rec.type == "cancel":
+                sim.cancel_pending(int(rec.data["job_id"]))
+                continue
             if rec.type != "step":
                 continue
             target_t = int(rec.data["t"])

@@ -220,6 +220,42 @@ class FastSimulator(Simulator):
         self._ft_flush()
         return result
 
+    def advance_until(self, t_stop: int) -> bool:
+        quiescent = super().advance_until(t_stop)
+        self._ft_flush()
+        return quiescent
+
+    def inject_job(self, job, *, release_time=None, meta=None):
+        release = super().inject_job(
+            job, release_time=release_time, meta=meta
+        )
+        if self._ft_built:
+            # The fast paths were proven sound over the job population
+            # seen at build time; an online arrival may violate their
+            # preconditions, so each flag downgrades monotonically —
+            # never re-enables — keeping every already-taken shortcut
+            # valid and every future step on a conservative path.
+            cls = type(job)
+            if not cls.incremental_desires:
+                self._ft_incr = False
+            if cls.steady_steps is Job.steady_steps:
+                self._ft_steady = False
+            if self._ft_lean and cls is not PhaseJob:
+                # Leaving lean mode: materialise the state arrays back
+                # into the Job objects first, then execute per-job like
+                # the reference from here on.
+                self._ft_flush()
+                self._ft_lean = False
+        return release
+
+    def backlog_vector(self):
+        self._ft_flush()
+        return super().backlog_vector()
+
+    def backlog_span(self) -> int:
+        self._ft_flush()
+        return super().backlog_span()
+
     # ------------------------------------------------------------------
     def _ft_sync(self) -> None:
         """Reconcile rows with the live set (arrivals/completions/kills).

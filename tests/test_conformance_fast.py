@@ -250,3 +250,133 @@ def test_missing_seed_rejected():
 
     with pytest.raises(Exception, match="seed"):
         run_conformance(build)
+
+
+# ----------------------------------------------------------------------
+# sliced (online) conformance: advance_until interleaved with injection
+# ----------------------------------------------------------------------
+def _late_jobs(seed, k, n, base_id=100):
+    """Fresh mid-run submissions (DAG jobs: they force the fast engine
+    off its lean PhaseJob path, the hardest handoff to keep identical)."""
+    rng = np.random.default_rng(seed)
+    jobs = list(workloads.random_dag_jobset(rng, k, n, size_hint=10).jobs)
+    for i, job in enumerate(jobs):
+        job.job_id = base_id + i
+    return jobs
+
+
+def _online_script(seed, k):
+    def script():
+        jobs = _late_jobs(seed + 50, k, 4)
+        return [
+            {"advance_to": 4},
+            {"inject": jobs[0], "release_time": 5, "meta": {"tenant": "a"}},
+            {"advance_to": 10},
+            {"inject": jobs[1], "release_time": 12},
+            {"inject": jobs[2], "release_time": 25},
+            {"cancel": jobs[2].job_id},
+            {"advance_to": 40},
+            {"inject": jobs[3], "release_time": 45},
+        ]
+
+    return script
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sliced_injection_conforms(seed):
+    from repro.sim import assert_sliced_conformant
+
+    report = assert_sliced_conformant(
+        _phase_build(seed, 3, (6, 3, 2), n_jobs=8),
+        _online_script(seed, 3),
+        check_journal=True,
+    )
+    # every action logged a digest, and the journal saw the online records
+    kinds = [entry[0] for entry in report.slices["reference"]]
+    assert kinds.count("inject") == 4 and kinds.count("cancel") == 1
+    jkinds = {entry[0] for entry in report.journal_digests["reference"]}
+    assert {"step", "submit", "cancel"} <= jkinds
+
+
+def test_sliced_matches_batch_with_effective_releases():
+    """The acceptance identity behind the service: a sliced run with
+    late injections finishes exactly like a batch run of the same jobs
+    with the same effective release times — on both engines."""
+    from repro.sim import engine_class
+
+    seed, caps = 7, (5, 4)
+    for engine in ("reference", "fast"):
+        build = _phase_build(seed, 2, caps, n_jobs=6)
+        kwargs = build()
+        sim = engine_class(engine)(
+            kwargs.pop("machine"),
+            kwargs.pop("scheduler"),
+            kwargs.pop("jobset"),
+            seed=kwargs["seed"],
+        )
+        sim.advance_until(6)
+        late = _late_jobs(seed, 2, 2)
+        releases = [
+            sim.inject_job(late[0], release_time=max(8, sim.clock)),
+            sim.inject_job(late[1], release_time=max(14, sim.clock)),
+        ]
+        online = sim.run()
+
+        batch_build = _phase_build(seed, 2, caps, n_jobs=6)
+        bk = batch_build()
+        batch_late = _late_jobs(seed, 2, 2)
+        for job, rel in zip(batch_late, releases):
+            job.release_time = rel
+        from repro.jobs import JobSet
+
+        js = JobSet(
+            list(bk.pop("jobset").jobs) + batch_late,
+            num_categories=2,
+        )
+        batch = simulate(
+            bk.pop("machine"), bk.pop("scheduler"), js,
+            seed=bk["seed"], engine=engine,
+        )
+        assert online.makespan == batch.makespan
+        assert online.completion_times == batch.completion_times
+        assert online.release_times == batch.release_times
+
+
+def test_sliced_with_fault_injection_conforms():
+    from repro.sim import assert_sliced_conformant
+
+    def build():
+        rng = np.random.default_rng(3)
+        machine = KResourceMachine((4, 3))
+        js = workloads.random_phase_jobset(rng, 2, 6, max_work=25)
+        return dict(
+            machine=machine,
+            scheduler=KRad(machine),
+            jobset=js,
+            seed=3,
+            fault_model=JobKiller(0.04, seed=3),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+
+    def script():
+        jobs = _late_jobs(60, 2, 2)
+        return [
+            {"advance_to": 5},
+            {"inject": jobs[0], "release_time": 7},
+            {"advance_to": 15},
+            {"inject": jobs[1], "release_time": 16},
+        ]
+
+    report = assert_sliced_conformant(build, script, check_journal=True)
+    assert report.ok
+
+
+def test_sliced_unknown_action_rejected():
+    from repro.errors import ReproError
+    from repro.sim import run_sliced_conformance
+
+    with pytest.raises(ReproError, match="unknown sliced-conformance"):
+        run_sliced_conformance(
+            _phase_build(0, 2, (4, 4), n_jobs=3),
+            lambda: [{"teleport": 3}],
+        )

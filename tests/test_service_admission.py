@@ -1,0 +1,196 @@
+"""Property tests for admission control and service durability.
+
+The two service invariants worth machine-checking under arbitrary
+workloads:
+
+* **no accepted job is ever dropped** — whatever interleaving of
+  submissions, partial advances and quota pressure the service sees,
+  every acknowledged job is either completed (or cancelled on request)
+  by the time the service drains;
+* **every rejection is actionable** — it carries a reason from
+  :data:`~repro.service.admission.REASON_CODES` and an integer
+  ``retry_after >= 1``, under every gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jobs import Phase, PhaseJob
+from repro.obs import Observability
+from repro.service import (
+    REASON_CODES,
+    AdmissionController,
+    FairSubmissionQueue,
+    SchedulingService,
+    ServiceConfig,
+    theorem3_certificate,
+)
+
+K = 2
+CAPS = (3, 2)
+
+
+def _phase_jobs(sizes):
+    jobs = []
+    for i, (w0, w1, p) in enumerate(sizes):
+        jobs.append(
+            PhaseJob(
+                [Phase([w0, 0], [p, 1]), Phase([0, w1], [1, p])],
+                job_id=i,
+            )
+        )
+    return jobs
+
+
+# one service "op" per tuple: (tenant index, work0, work1, parallelism,
+# steps to advance after the submission)
+_ops = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 3),
+        st.integers(0, 4),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops, quota=st.integers(1, 4), cap=st.integers(2, 8))
+def test_no_accepted_job_is_ever_dropped(ops, quota, cap):
+    cfg = ServiceConfig(
+        capacities=CAPS,
+        seed=0,
+        tenant_quota=quota,
+        max_in_flight=cap,
+        step_slice=2,
+    )
+    svc = SchedulingService(cfg, obs=Observability())
+    jobs = _phase_jobs([(w0, w1, p) for _, w0, w1, p, _ in ops])
+    accepted, rejected = [], []
+    for job, (tenant_i, _w0, _w1, _p, advance) in zip(jobs, ops):
+        ack = svc.submit(f"tenant{tenant_i}", job)
+        if ack["ok"]:
+            accepted.append(ack["job_id"])
+        else:
+            rejected.append(ack)
+        for _ in range(advance):
+            svc.tick()
+    summary = svc.drain()
+    # every acknowledged job completed; none dropped, none failed
+    assert sorted(summary["completions"]) == sorted(accepted)
+    assert summary["failed"] == []
+    assert summary["completed"] == len(accepted)
+    # rejections never consumed a job id (ids are dense in admission order)
+    assert sorted(accepted) == list(range(len(accepted)))
+    # and each one was actionable
+    for rej in rejected:
+        assert rej["reason"] in REASON_CODES
+        assert isinstance(rej["retry_after"], int)
+        assert rej["retry_after"] >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    tenant_in_flight=st.integers(0, 20),
+    total_in_flight=st.integers(0, 50),
+    quota=st.integers(1, 8),
+    cap=st.integers(1, 32),
+    retry=st.integers(1, 16),
+    shed=st.one_of(st.none(), st.integers(1, 100)),
+    cert=st.one_of(
+        st.none(), st.floats(0, 500, allow_nan=False, allow_infinity=False)
+    ),
+    draining=st.booleans(),
+)
+def test_every_rejection_carries_reason_and_retry_after(
+    tenant_in_flight, total_in_flight, quota, cap, retry, shed, cert, draining
+):
+    ctrl = AdmissionController(
+        tenant_quota=quota,
+        max_in_flight=cap,
+        retry_after=retry,
+        shed_horizon=shed,
+    )
+    decision = ctrl.decide(
+        "t",
+        tenant_in_flight=tenant_in_flight,
+        total_in_flight=total_in_flight,
+        draining=draining,
+        certificate=cert,
+    )
+    if decision.accepted:
+        # acceptance implies every armed gate genuinely passed
+        assert not draining
+        assert total_in_flight < cap
+        assert tenant_in_flight < quota
+        if shed is not None and cert is not None:
+            assert cert <= shed
+        assert decision.to_dict() == {"accepted": True}
+    else:
+        assert decision.reason in REASON_CODES
+        assert isinstance(decision.retry_after, int)
+        assert decision.retry_after >= 1
+        assert decision.detail
+        wire = decision.to_dict()
+        assert wire["reason"] == decision.reason
+        assert wire["retry_after"] >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pushes=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 1000)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_fair_queue_conserves_and_orders(pushes):
+    q = FairSubmissionQueue()
+    for tenant_i, item in pushes:
+        q.push(f"t{tenant_i}", item)
+    assert len(q) == len(pushes)
+    popped = list(q.drain())
+    assert len(popped) == len(pushes)
+    # conservation: exactly the pushed multiset comes back out
+    assert sorted(popped) == sorted(
+        (f"t{i}", item) for i, item in pushes
+    )
+    # per-tenant FIFO: each tenant's items appear in push order
+    for tenant in {f"t{i}" for i, _ in pushes}:
+        pushed_order = [it for i, it in pushes if f"t{i}" == tenant]
+        popped_order = [it for t, it in popped if t == tenant]
+        assert popped_order == pushed_order
+    # round-robin fairness: between two pops of one tenant, every other
+    # tenant that had backlog at the first pop is served at least once
+    last_seen: dict[str, int] = {}
+    for idx, (tenant, _item) in enumerate(popped):
+        if tenant in last_seen:
+            gap = popped[last_seen[tenant] + 1 : idx]
+            gap_tenants = {t for t, _ in gap}
+            remaining_after = {t for t, _ in popped[last_seen[tenant] + 1 :]}
+            assert remaining_after - {tenant} <= gap_tenants
+        last_seen[tenant] = idx
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    work=st.lists(st.integers(0, 50), min_size=K, max_size=K),
+    extra=st.lists(st.integers(0, 20), min_size=K, max_size=K),
+    span=st.integers(0, 40),
+    more_span=st.integers(0, 20),
+)
+def test_certificate_monotone_and_zero_on_empty(work, extra, span, more_span):
+    pmax = max(CAPS)
+    base = theorem3_certificate(np.array(work), span, CAPS, pmax)
+    grown = theorem3_certificate(
+        np.array(work) + np.array(extra), span + more_span, CAPS, pmax
+    )
+    assert base >= 0
+    assert grown >= base  # admitting more work never shrinks the horizon
+    assert theorem3_certificate(np.zeros(K), 0, CAPS, pmax) == 0.0
