@@ -45,6 +45,7 @@ offline from the journal::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro._version import __version__
@@ -843,17 +844,191 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         metavar="STEP:CAT:DELTA[:DURATION]",
         help="elastic capacity change, repeatable (see 'krad supervise')",
     )
+    chaos = parser.add_argument_group(
+        "chaos transport (deterministic wire-fault injection)"
+    )
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the per-message fault plan (default 0)",
+    )
+    chaos.add_argument(
+        "--chaos-drop",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a response is swallowed (default 0)",
+    )
+    chaos.add_argument(
+        "--chaos-delay",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a response is delayed (default 0)",
+    )
+    chaos.add_argument(
+        "--chaos-delay-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="max injected delay in milliseconds (default 50)",
+    )
+    chaos.add_argument(
+        "--chaos-corrupt",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability a response byte is flipped (default 0)",
+    )
+    chaos.add_argument(
+        "--chaos-disconnect",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability the connection is cut instead of answering "
+        "(default 0)",
+    )
+    sup = parser.add_argument_group(
+        "watchdog supervision (self-healing through journal recovery)"
+    )
+    sup.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run under a watchdog: the serving process is spawned as a "
+        "child, health-checked over the control socket, and restarted "
+        "through digest-verified journal recovery on crash or hang "
+        "(requires an explicit --port or --socket, and --journal)",
+    )
+    sup.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="consecutive seconds of failed liveness probes before the "
+        "watchdog declares a hang and restarts (default 2.0)",
+    )
+    sup.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="watchdog restart budget before giving up (default 5)",
+    )
+    sup.add_argument(
+        "--recovery-deadline",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds a (re)started serving process gets to answer its "
+        "first probe (default 30)",
+    )
     _add_fault_arguments(parser)
     _add_engine_argument(parser)
     _add_obs_arguments(parser)
     return parser
 
 
+#: serve flags consumed by the watchdog itself, stripped from the child's
+#: command line (True = the flag takes a value)
+_SUPERVISOR_FLAGS = {
+    "--supervised": False,
+    "--hang-timeout": True,
+    "--max-restarts": True,
+    "--recovery-deadline": True,
+}
+
+
+def _child_serve_argv(argv: list[str]) -> list[str]:
+    """The supervised child's ``serve`` argv: the watchdog's own flags
+    removed, everything else passed through verbatim."""
+    out: list[str] = []
+    skip = False
+    for tok in argv:
+        if skip:
+            skip = False
+            continue
+        flag = tok.split("=", 1)[0]
+        if flag in _SUPERVISOR_FLAGS:
+            skip = _SUPERVISOR_FLAGS[flag] and "=" not in tok
+            continue
+        out.append(tok)
+    return out
+
+
+def _supervised_serve(args, argv: list[str]) -> int:
+    """Run ``krad serve --supervised``: spawn + probe + restart loop."""
+    import subprocess
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient, Watchdog
+
+    if args.socket is None and args.port is None:
+        raise ValueError(
+            "--supervised needs a stable endpoint to probe and rebind: "
+            "pass an explicit --port N or --socket PATH"
+        )
+    if args.journal is None:
+        raise ValueError(
+            "--supervised restarts through journal recovery; it needs "
+            "--journal FILE"
+        )
+    address = (
+        args.socket if args.socket is not None else (args.host, args.port)
+    )
+    child_argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        *_child_serve_argv(argv),
+    ]
+
+    def spawn():
+        # A killed child leaves its Unix socket path behind; unlink it so
+        # the replacement can rebind the same endpoint.
+        if isinstance(address, str) and os.path.exists(address):
+            os.unlink(address)
+        # The child inherits stdout/stderr so its "serving on ..." lines
+        # and drain summary stay visible to whoever runs the watchdog.
+        proc = subprocess.Popen(child_argv)
+        print(f"watchdog: child pid {proc.pid}", flush=True)
+        return proc
+
+    def probe() -> bool:
+        try:
+            with ServiceClient(address, timeout=1.0) as cli:
+                return bool(cli.ping().get("ok"))
+        except ServiceError:
+            return False
+
+    probe_interval = 0.25
+    dog = Watchdog(
+        spawn,
+        probe,
+        probe_interval_s=probe_interval,
+        hang_probes=max(1, int(args.hang_timeout / probe_interval)),
+        grace_s=args.recovery_deadline,
+        recovery_deadline_s=args.recovery_deadline,
+        max_restarts=args.max_restarts,
+        on_event=lambda kind, detail: print(
+            f"watchdog: {kind}: {detail}", flush=True
+        ),
+    )
+    return dog.run()
+
+
 def _serve_main(argv: list[str]) -> int:
     """The ``krad serve`` subcommand: run the online scheduling service."""
     import asyncio
 
-    from repro.service import SchedulingService, ServiceConfig, ServiceServer
+    from repro.service import (
+        ChaosConfig,
+        SchedulingService,
+        ServiceConfig,
+        ServiceServer,
+    )
 
     args = _build_serve_parser().parse_args(argv)
     obs = None
@@ -864,6 +1039,16 @@ def _serve_main(argv: list[str]) -> int:
                 "--socket and --port bind the same control socket; "
                 "pick TCP or Unix, not both"
             )
+        if args.supervised:
+            return _supervised_serve(args, argv)
+        chaos = ChaosConfig(
+            seed=args.chaos_seed,
+            drop_rate=args.chaos_drop,
+            delay_rate=args.chaos_delay,
+            max_delay_s=args.chaos_delay_ms / 1000.0,
+            corrupt_rate=args.chaos_corrupt,
+            disconnect_rate=args.chaos_disconnect,
+        )
         if args.checkpoint_every is not None and args.journal is None:
             raise ValueError(
                 "--checkpoint-every sets the journal's checkpoint cadence; "
@@ -908,13 +1093,18 @@ def _serve_main(argv: list[str]) -> int:
                 else 25
             ),
         )
-        service = SchedulingService(
+        resuming = (
+            config.journal_path is not None
+            and os.path.exists(config.journal_path)
+            and os.path.getsize(config.journal_path) > 0
+        )
+        service = SchedulingService.open(
             config,
             obs=obs,
             fault_model=fault_model,
             retry_policy=retry_policy,
             capacity_schedule=capacity_schedule,
-            churn=churn,
+            churn=None if resuming else churn,
         )
         server = ServiceServer(
             service,
@@ -922,6 +1112,7 @@ def _serve_main(argv: list[str]) -> int:
             port=args.port if args.port is not None else 0,
             unix_path=args.socket,
             metrics_port=args.metrics_port,
+            chaos=chaos,
         )
     except Exception as exc:
         print(f"krad serve: {exc}", file=sys.stderr)
@@ -941,6 +1132,21 @@ def _serve_main(argv: list[str]) -> int:
             print(f"metrics on http://{mhost}:{mport}/metrics", flush=True)
         if args.journal is not None:
             print(f"journal: {args.journal}", flush=True)
+        if resuming:
+            print(
+                f"resumed from journal at step {service.clock} "
+                f"({service.stats()['accepted']} acknowledged "
+                "submissions restored)",
+                flush=True,
+            )
+        if server.chaos is not None:
+            print(
+                f"chaos armed: seed={args.chaos_seed} "
+                f"drop={args.chaos_drop} delay={args.chaos_delay} "
+                f"corrupt={args.chaos_corrupt} "
+                f"disconnect={args.chaos_disconnect}",
+                flush=True,
+            )
         await server.serve_until_drained()
 
     try:
@@ -1057,8 +1263,9 @@ def _build_submit_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--retry",
         action="store_true",
-        help="honour retry_after and keep retrying rejected submissions "
-        "until admitted",
+        help="retry under a budget: honour retry_after on rejections, "
+        "ride out outages with tokened resubmission (exactly-once), "
+        "give up with a deadline error when the budget is exhausted",
     )
     parser.add_argument(
         "--wait",
@@ -1071,9 +1278,24 @@ def _build_submit_parser() -> argparse.ArgumentParser:
 
 def _submit_main(argv: list[str]) -> int:
     """The ``krad submit`` subcommand: feed jobs to a running service."""
-    from repro.service import ServiceClient
+    from repro.service import RetryBudget, ServiceClient
 
     args = _build_submit_parser().parse_args(argv)
+    # --retry arms the full resilience stack: outage ride-through with
+    # reconnects, idempotency tokens, breaker — not just retry_after.
+    # The tighter socket timeout turns a swallowed response into a fast
+    # retry instead of a 30 s stall.
+    retry = (
+        RetryBudget(
+            max_attempts=64,
+            max_elapsed_s=120.0,
+            base_backoff_s=0.05,
+            max_backoff_s=2.0,
+        )
+        if args.retry
+        else None
+    )
+    client_timeout = 5.0 if args.retry else 30.0
     try:
         address = _connect_address(args)
         if args.job_file is not None and (
@@ -1102,7 +1324,9 @@ def _submit_main(argv: list[str]) -> int:
 
             num = args.jobs if args.jobs is not None else 1
             seed = args.seed if args.seed is not None else 0
-            with ServiceClient(address) as probe:
+            with ServiceClient(
+                address, timeout=client_timeout, retry=retry
+            ) as probe:
                 k = len(probe.stats()["capacities"])
             rng = np.random.default_rng(seed)
             jobs = list(
@@ -1115,7 +1339,9 @@ def _submit_main(argv: list[str]) -> int:
     rejected = 0
     admitted: list[int] = []
     try:
-        with ServiceClient(address) as client:
+        with ServiceClient(
+            address, timeout=client_timeout, retry=retry
+        ) as client:
             for job in jobs:
                 if args.retry:
                     ack = client.submit_blocking(

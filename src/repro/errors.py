@@ -71,3 +71,40 @@ class ServiceError(ReproError):
     protocol violations, or client transport errors.  Admission
     *rejections* are not errors — they are ordinary responses carrying
     a reason code and ``retry_after``."""
+
+
+class DeadlineExceeded(ServiceError):
+    """Raised when a client's retry budget runs out before success.
+
+    Carries how hard the client tried: ``attempts`` requests sent,
+    ``elapsed`` wall-clock seconds burned, and the ``op`` that was being
+    retried.  ``last_error`` is the stringified final failure (a
+    transport error or the last rejection), when there was one."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str,
+        attempts: int,
+        elapsed: float,
+        last_error: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = str(op)
+        self.attempts = int(attempts)
+        self.elapsed = float(elapsed)
+        self.last_error = last_error
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when a client request is refused locally because the
+    per-endpoint circuit breaker is open.  ``retry_after`` is the
+    wall-clock seconds until the breaker will allow a half-open probe."""
+
+    def __init__(
+        self, message: str, *, op: str, retry_after: float
+    ) -> None:
+        super().__init__(message)
+        self.op = str(op)
+        self.retry_after = float(retry_after)

@@ -185,6 +185,12 @@ class Observability:
         if self.bus.active:
             self.bus.emit(t, "drain", completed=completed, failed=failed)
 
+    def on_state_change(self, t, *, state, prev):
+        if self.metrics is not None:
+            self.metrics.record_state_change(state)
+        if self.bus.active:
+            self.bus.emit(t, "state_change", state=state, prev=prev)
+
     def on_checkpoint(self, t):
         if self.metrics is not None:
             self.metrics.record_checkpoint()

@@ -54,6 +54,7 @@ EVENT_KINDS = (
     "reject",          # service refused a submission (reason + retry_after)
     "cancel",          # service withdrew a not-yet-released job
     "drain",           # service stopped admissions and ran to completion
+    "state_change",    # service moved on the graceful-degradation ladder
 )
 
 

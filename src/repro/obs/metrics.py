@@ -351,6 +351,7 @@ class RunMetrics:
         self.journal_records: dict[str, int] = {}
         self.submissions: dict[str, int] = {}
         self.rejections: dict[str, int] = {}
+        self.state_changes: dict[str, int] = {}
         self.cancellations = 0
         self.allocated = np.zeros(0, dtype=np.int64)
         self.desired = np.zeros(0, dtype=np.int64)
@@ -540,6 +541,10 @@ class RunMetrics:
         """One not-yet-released job withdrawn by its submitter."""
         self.cancellations += 1
 
+    def record_state_change(self, state: str) -> None:
+        """One graceful-degradation transition, by destination state."""
+        self.state_changes[state] = self.state_changes.get(state, 0) + 1
+
     def record_run_start(self) -> None:
         self.runs += 1
 
@@ -631,6 +636,12 @@ class RunMetrics:
                 "cancellations_total",
                 "pending jobs withdrawn by their submitter",
             ).inc(self.cancellations)
+        for state in sorted(self.state_changes):
+            c(
+                "state_transitions_total",
+                "graceful-degradation transitions by destination state",
+                state=state,
+            ).inc(self.state_changes[state])
         for alpha in range(self.allocated.shape[0]):
             c(
                 "allocated_processor_steps_total",

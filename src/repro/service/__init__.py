@@ -16,7 +16,16 @@ small daemon with:
   state *and* the tenant accounting from the write-ahead journal;
 * **live telemetry**: a ``/metrics`` HTTP endpoint and per-submission
   bus events, on the observability layer the batch pipeline already
-  uses.
+  uses;
+* **resilience** (:mod:`repro.service.resilience` +
+  :mod:`repro.service.chaos`): client retry budgets with typed
+  deadlines, per-endpoint circuit breakers, idempotency-token submit
+  dedupe (exactly-once admission over a lossy wire), a graceful
+  degradation ladder surfaced through admission, ``/healthz`` and
+  metrics,
+  a watchdog supervisor that restarts a crashed or hung server through
+  digest-verified journal recovery, and a deterministic chaos transport
+  to prove all of it under seeded network faults.
 
 :class:`~repro.service.core.SchedulingService` is the in-process core;
 :class:`~repro.service.server.ServiceServer` puts it on a socket;
@@ -30,21 +39,46 @@ from repro.service.admission import (
     AdmissionDecision,
     theorem3_certificate,
 )
-from repro.service.client import ServiceClient, fetch_metrics_text
+from repro.service.chaos import ChaosConfig, ChaosFault, ChaosSchedule
+from repro.service.client import (
+    ServiceClient,
+    fetch_healthz,
+    fetch_metrics_text,
+)
 from repro.service.core import SchedulingService, ServiceConfig
 from repro.service.queue import FairSubmissionQueue
+from repro.service.resilience import (
+    SERVICE_STATES,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBudget,
+    RetrySession,
+    Watchdog,
+    service_state_code,
+)
 from repro.service.server import ServiceServer, ThreadedServer
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "ChaosConfig",
+    "ChaosFault",
+    "ChaosSchedule",
+    "CircuitBreaker",
     "FairSubmissionQueue",
     "REASON_CODES",
+    "ResilienceConfig",
+    "RetryBudget",
+    "RetrySession",
+    "SERVICE_STATES",
     "SchedulingService",
     "ServiceClient",
     "ServiceConfig",
     "ServiceServer",
     "ThreadedServer",
+    "Watchdog",
+    "fetch_healthz",
     "fetch_metrics_text",
+    "service_state_code",
     "theorem3_certificate",
 ]

@@ -12,6 +12,26 @@ rejections do **not** — they come back as ordinary ``{"ok": false,
 "reason": ..., "retry_after": ...}`` responses.
 :meth:`ServiceClient.submit_blocking` turns the ``retry_after`` hint
 into actual backoff for callers that just want the job admitted.
+
+Resilience (all opt-in, wire format unchanged):
+
+* ``retry=RetryBudget(...)`` arms :meth:`request_resilient`: transport
+  failures reconnect and retry with jittered exponential backoff until
+  the budget (attempts *and* wall-clock) runs dry, then raise a typed
+  :class:`~repro.errors.DeadlineExceeded`.
+* Retried **submits carry an idempotency token** (a generated UUID
+  unless the caller supplies one), so a retry after a lost ack is
+  deduplicated server-side — at-least-once delivery on the wire,
+  exactly-once admission in the engine.
+* A per-endpoint :class:`~repro.service.resilience.CircuitBreaker`
+  fails fast while the service is down
+  (:class:`~repro.errors.CircuitOpenError` without touching the wire)
+  and probes it back to health; breaker state and transitions export as
+  Prometheus text via :meth:`local_metrics_text`.
+* ``chaos=ChaosConfig(...)`` makes the *client side* of the wire lossy
+  too (drop/delay the request, corrupt the response bytes, cut the
+  connection) — the deterministic fault plan of
+  :class:`~repro.service.chaos.ChaosSchedule`.
 """
 
 from __future__ import annotations
@@ -19,15 +39,27 @@ from __future__ import annotations
 import json
 import socket
 import time
+import urllib.error
 import urllib.request
+import uuid
 
-from repro.errors import ServiceError
+from repro.errors import CircuitOpenError, ServiceError
 from repro.jobs.base import Job
+from repro.obs import MetricsRegistry
+from repro.service.chaos import ChaosConfig, ChaosSchedule
+from repro.service.resilience import CircuitBreaker, RetryBudget
 
-__all__ = ["ServiceClient", "fetch_metrics_text"]
+__all__ = ["ServiceClient", "fetch_healthz", "fetch_metrics_text"]
 
 #: job states that end a wait()
 _TERMINAL_STATES = ("completed", "failed", "quarantined", "cancelled")
+
+#: numeric codes for the circuit_state gauge
+_CIRCUIT_CODES = {
+    CircuitBreaker.CLOSED: 0,
+    CircuitBreaker.OPEN: 1,
+    CircuitBreaker.HALF_OPEN: 2,
+}
 
 
 def fetch_metrics_text(address: tuple[str, int], *, timeout: float = 5.0) -> str:
@@ -37,8 +69,37 @@ def fetch_metrics_text(address: tuple[str, int], *, timeout: float = 5.0) -> str
     try:
         with urllib.request.urlopen(url, timeout=timeout) as resp:
             return resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        # A non-200 is the server *talking* (e.g. an unhealthy service's
+        # 503) — name the status instead of masking it as a socket error.
+        body = exc.read().decode("utf-8", "replace").strip()
+        raise ServiceError(
+            f"metrics endpoint {url} answered HTTP {exc.code}: "
+            f"{body or exc.reason}"
+        ) from exc
     except OSError as exc:
         raise ServiceError(f"cannot scrape {url}: {exc}") from exc
+
+
+def fetch_healthz(
+    address: tuple[str, int], *, timeout: float = 5.0
+) -> tuple[int, dict]:
+    """``GET /healthz``: returns ``(status_code, body)`` without raising
+    on 503 — an unhealthy answer is an *answer*, naming the degradation
+    state in the body."""
+    host, port = address
+    url = f"http://{host}:{port}/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+        except ValueError:
+            doc = {}
+        return exc.code, doc
+    except OSError as exc:
+        raise ServiceError(f"cannot probe {url}: {exc}") from exc
 
 
 class ServiceClient:
@@ -46,6 +107,27 @@ class ServiceClient:
 
     ``address`` is a ``(host, port)`` tuple for TCP or a string path
     for a Unix socket.  Usable as a context manager.
+
+    Parameters
+    ----------
+    timeout:
+        Socket timeout per wire read/write, seconds.
+    retry:
+        Optional :class:`~repro.service.resilience.RetryBudget`: arms
+        transparent reconnect-and-retry (plus idempotency tokens on
+        submits) for every operation routed through
+        :meth:`request_resilient`.
+    breaker:
+        Factory for per-endpoint circuit breakers (called once per op
+        name).  Defaults to ``CircuitBreaker()`` per op when ``retry``
+        is armed; pass ``None`` explicitly via a factory returning
+        ``None`` is not supported — breakers only exist when ``retry``
+        does.
+    chaos:
+        Optional client-side :class:`~repro.service.chaos.ChaosConfig`
+        (or a shared :class:`~repro.service.chaos.ChaosSchedule`):
+        requests may be dropped or delayed before sending, the
+        connection cut, or the response bytes corrupted after reading.
     """
 
     def __init__(
@@ -53,30 +135,91 @@ class ServiceClient:
         address: tuple[str, int] | list | str,
         *,
         timeout: float = 30.0,
+        retry: RetryBudget | None = None,
+        breaker=None,
+        chaos: ChaosConfig | ChaosSchedule | None = None,
     ) -> None:
         self.address = address
         self.timeout = float(timeout)
+        self.retry = retry
+        self._breaker_factory = (
+            breaker if breaker is not None else CircuitBreaker
+        )
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._circuit_transitions: dict[tuple[str, str], int] = {}
+        if isinstance(chaos, ChaosConfig):
+            chaos = ChaosSchedule(chaos) if chaos.active else None
+        self.chaos: ChaosSchedule | None = chaos
+        self._sock = None
+        self._file = None
         try:
-            if isinstance(address, str):
-                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                self._sock.settimeout(self.timeout)
-                self._sock.connect(address)
+            self._connect()
+        except ServiceError:
+            if retry is None:
+                raise
+            # a retry-armed client tolerates a down server at dial time
+            # (mid-outage construction): request_resilient redials on
+            # every attempt, so the budget decides when to give up
+
+    def _connect(self) -> None:
+        try:
+            if isinstance(self.address, str):
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.address)
             else:
-                host, port = address
-                self._sock = socket.create_connection(
+                host, port = self.address
+                sock = socket.create_connection(
                     (host, int(port)), timeout=self.timeout
                 )
         except OSError as exc:
             raise ServiceError(
-                f"cannot connect to service at {address!r}: {exc}"
+                f"cannot connect to service at {self.address!r}: {exc}"
             ) from exc
-        self._file = self._sock.makefile("rwb")
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def breaker(self, op: str) -> CircuitBreaker:
+        """The circuit breaker guarding one wire endpoint (lazily built)."""
+        br = self._breakers.get(op)
+        if br is None:
+            br = self._breaker_factory(
+                on_transition=lambda old, new, _op=op: (
+                    self._note_transition(_op, old, new)
+                )
+            )
+            self._breakers[op] = br
+        return br
+
+    def _note_transition(self, op: str, old: str, new: str) -> None:
+        key = (op, new)
+        self._circuit_transitions[key] = (
+            self._circuit_transitions.get(key, 0) + 1
+        )
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def request(self, payload: dict) -> dict:
         """Send one request object, return its response object."""
+        if self._file is None:
+            raise ServiceError("client is closed")
+        if self.chaos is not None:
+            fault = self.chaos.next_fault()
+            if fault is not None:
+                if fault.kind == "drop":
+                    # The request never reaches the wire — to the caller
+                    # that is indistinguishable from a lost packet.
+                    raise ServiceError(
+                        f"chaos: request dropped ({fault.describe()})"
+                    )
+                if fault.kind == "disconnect":
+                    self.close()
+                    raise ServiceError(
+                        f"chaos: connection cut ({fault.describe()})"
+                    )
+                if fault.kind == "delay":
+                    time.sleep(fault.delay_s)
         try:
             self._file.write(
                 json.dumps(payload, separators=(",", ":")).encode() + b"\n"
@@ -91,6 +234,12 @@ class ServiceClient:
             raise ServiceError(
                 f"service at {self.address!r} closed the connection"
             )
+        if (
+            self.chaos is not None
+            and fault is not None
+            and fault.kind == "corrupt"
+        ):
+            line = ChaosSchedule.corrupt(line, fault)
         try:
             resp = json.loads(line)
         except ValueError as exc:
@@ -101,17 +250,96 @@ class ServiceClient:
             raise ServiceError("malformed response from service: not an object")
         return resp
 
+    def request_resilient(self, op: str, payload: dict) -> dict:
+        """One request under the retry budget and the op's breaker.
+
+        Transport failures (:class:`ServiceError` from the wire) are
+        retried after a reconnect and a jittered backoff, charging the
+        budget each attempt; the breaker records every outcome and fails
+        fast (:class:`~repro.errors.CircuitOpenError`) while open.
+        Admission rejections come back verbatim — they are answers, not
+        failures.  Without a ``retry`` budget this is plain
+        :meth:`request`.
+        """
+        if self.retry is None:
+            return self.request(payload)
+        breaker = self.breaker(op)
+        session = self.retry.session(op)
+        while True:
+            session.charge()
+            try:
+                breaker.check(op)
+            except CircuitOpenError as exc:
+                # Fail fast off the wire, but keep trying within the
+                # budget: sleep until the breaker will admit a half-open
+                # probe (never past the session deadline), then loop —
+                # charge() converts an exhausted budget into a typed
+                # DeadlineExceeded instead of raising the breaker error.
+                remaining = self.retry.max_elapsed_s - session.elapsed
+                wait = min(max(0.0, exc.retry_after), max(0.0, remaining))
+                if wait > 0:
+                    time.sleep(wait)
+                session.last_error = str(exc)
+                continue
+            try:
+                if self._file is None:
+                    self._connect()
+                resp = self.request(payload)
+            except ServiceError as exc:
+                breaker.record_failure()
+                # Always tear the socket down: after a timeout or a lost
+                # response the stream may hold a stale reply, and reusing
+                # it would desynchronise every later request/response pair.
+                self.close()
+                session.backoff(last_error=str(exc))
+                continue
+            breaker.record_success()
+            return resp
+
     def close(self) -> None:
+        if self._file is None:
+            return
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._file = None
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # local resilience telemetry
+    # ------------------------------------------------------------------
+    def local_metrics_registry(self) -> MetricsRegistry:
+        """Client-side breaker state as a scrapeable registry."""
+        reg = MetricsRegistry()
+        for op in sorted(self._breakers):
+            reg.gauge(
+                "circuit_state",
+                "breaker state per endpoint (0=closed 1=open 2=half-open)",
+                op=op,
+            ).set(_CIRCUIT_CODES[self._breakers[op].state])
+        for (op, to), count in sorted(self._circuit_transitions.items()):
+            reg.counter(
+                "circuit_transitions_total",
+                "breaker transitions by endpoint and destination state",
+                op=op,
+                to=to,
+            ).inc(count)
+        return reg
+
+    def local_metrics_text(self) -> str:
+        return self.local_metrics_registry().to_prometheus_text()
 
     # ------------------------------------------------------------------
     # operations
@@ -122,8 +350,15 @@ class ServiceClient:
         job: Job | dict,
         *,
         release_time: int | None = None,
+        token: str | None = None,
     ) -> dict:
-        """Submit one job; returns the ack or rejection verbatim."""
+        """Submit one job; returns the ack or rejection verbatim.
+
+        With a ``retry`` budget armed the submit goes through
+        :meth:`request_resilient` under an idempotency ``token`` (a
+        generated UUID unless supplied), so transport retries can never
+        double-admit; without one it is a single bare request.
+        """
         if isinstance(job, Job):
             from repro.io.serialize import job_to_dict
 
@@ -131,7 +366,11 @@ class ServiceClient:
         payload: dict = {"op": "submit", "tenant": tenant, "job": job}
         if release_time is not None:
             payload["release_time"] = int(release_time)
-        return self.request(payload)
+        if token is None and self.retry is not None:
+            token = uuid.uuid4().hex
+        if token is not None:
+            payload["token"] = str(token)
+        return self.request_resilient("submit", payload)
 
     def submit_blocking(
         self,
@@ -141,47 +380,74 @@ class ServiceClient:
         release_time: int | None = None,
         max_tries: int = 64,
         backoff: float = 0.01,
+        token: str | None = None,
     ) -> dict:
-        """Submit and honour ``retry_after`` until admitted.
+        """Submit and honour ``retry_after`` until admitted — bounded.
 
-        Retries rejections (scaling the wall-clock backoff by the
-        service's ``retry_after`` hint in virtual steps) up to
-        ``max_tries``; raises :class:`ServiceError` if the service is
-        draining or the tries run out.
+        Retries rejections under a :class:`RetryBudget` (the client's
+        own if armed, else one derived from ``max_tries``/``backoff``
+        for back-compat), so the wait is always bounded: when the budget
+        runs dry a typed :class:`~repro.errors.DeadlineExceeded`
+        carrying attempts and elapsed time is raised instead of spinning
+        forever.  A ``draining`` rejection is terminal and raises
+        :class:`ServiceError` immediately.
         """
-        last: dict = {}
-        for _ in range(max_tries):
-            last = self.submit(tenant, job, release_time=release_time)
+        budget = self.retry or RetryBudget(
+            max_attempts=int(max_tries),
+            max_elapsed_s=max(1.0, float(max_tries) * 1.0),
+            base_backoff_s=float(backoff),
+            max_backoff_s=max(float(backoff) * 64, 1.0),
+        )
+        if token is None:
+            token = uuid.uuid4().hex
+        session = budget.session("submit_blocking")
+        while True:
+            session.charge()
+            last = self.submit(
+                tenant, job, release_time=release_time, token=token
+            )
             if last.get("ok"):
                 return last
             if last.get("reason") == "draining":
-                break
-            time.sleep(backoff * max(1, int(last.get("retry_after", 1))))
-        raise ServiceError(
-            f"submission for tenant {tenant!r} not admitted: "
-            f"{last.get('reason')}: {last.get('error')}"
-        )
+                raise ServiceError(
+                    f"submission for tenant {tenant!r} not admitted: "
+                    f"draining: {last.get('error')}"
+                )
+            session.backoff(
+                retry_after=last.get("retry_after"),
+                last_error=f"{last.get('reason')}: {last.get('error')}",
+            )
 
     def status(self, job_id: int) -> dict:
-        return self.request({"op": "status", "job_id": int(job_id)})
+        return self.request_resilient(
+            "status", {"op": "status", "job_id": int(job_id)}
+        )
 
     def cancel(self, job_id: int) -> dict:
-        return self.request({"op": "cancel", "job_id": int(job_id)})
+        return self.request_resilient(
+            "cancel", {"op": "cancel", "job_id": int(job_id)}
+        )
 
     def stats(self) -> dict:
-        return self.request({"op": "stats"})
+        return self.request_resilient("stats", {"op": "stats"})
 
     def ping(self) -> dict:
-        return self.request({"op": "ping"})
+        return self.request_resilient("ping", {"op": "ping"})
 
     def metrics_text(self) -> str:
-        resp = self.request({"op": "metrics"})
+        resp = self.request_resilient("metrics", {"op": "metrics"})
         if not resp.get("ok"):
             raise ServiceError(f"metrics op failed: {resp.get('error')}")
         return resp["text"]
 
     def drain(self) -> dict:
-        """Request drain; blocks until the backlog ran to completion."""
+        """Request drain; blocks until the backlog ran to completion.
+
+        Never routed through the retry loop: a drain that timed out on
+        the wire may still complete server-side, and blindly re-sending
+        it is harmless (drain is idempotent) but re-awaiting the full
+        backlog doubles the wait — callers own that decision.
+        """
         return self.request({"op": "drain"})
 
     def wait(

@@ -34,6 +34,7 @@ Semantics worth spelling out:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ServiceError, SimulationError
@@ -45,6 +46,11 @@ from repro.schedulers import scheduler_by_name
 from repro.service.admission import (
     AdmissionController,
     theorem3_certificate,
+)
+from repro.service.resilience import (
+    SERVICE_STATES,
+    ResilienceConfig,
+    service_state_code,
 )
 from repro.sim.engine import engine_class
 from repro.sim.journal import Journal, read_journal
@@ -79,6 +85,7 @@ class ServiceConfig:
     journal_path: str | None = None
     checkpoint_every: int = 25
     fsync: bool = True
+    resilience: ResilienceConfig | None = None
     extra: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
@@ -163,15 +170,29 @@ class SchedulingService:
                 max_stall_steps=max_stall_steps,
                 obs=obs,
             )
+        self.resilience = (
+            config.resilience
+            if config.resilience is not None
+            else ResilienceConfig()
+        )
         self._tenant_of: dict[int, str] = {}
         self._jobs_of: dict[str, list[int]] = {}
         self._release_of: dict[int, int] = {}
         self._cancelled: set[int] = set()
+        #: submission-token -> stored ack (idempotent resubmission)
+        self._tokens: dict[str, dict] = {}
         self._next_id = 0
         self._accepted = 0
         self._rejected = 0
+        self._duplicates = 0
         self._draining = False
         self._result = None
+        #: True between recover() and the first completed tick
+        self._recovering = False
+        #: operator/failure override: refuse all state mutation
+        self._read_only = False
+        self._last_state = "healthy"
+        self._state_changes = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -228,6 +249,58 @@ class SchedulingService:
         )
 
     # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def journal_latency_s(self) -> float:
+        """EWMA append latency of the engine's journal (0 without one)."""
+        journal = getattr(self._sim, "_journal", None)
+        if journal is None:
+            return 0.0
+        return float(getattr(journal, "append_latency_s", 0.0))
+
+    def service_state(self) -> str:
+        """Current rung on the degradation ladder (SERVICE_STATES).
+
+        Recomputed from live signals on every call and compared against
+        the previous answer, so any path that consults the state
+        (admission, ``/healthz``, metrics) also publishes transitions.
+        """
+        state = self.resilience.classify(
+            depth_frac=(
+                self.total_in_flight() / self.config.max_in_flight
+            ),
+            journal_latency_s=self.journal_latency_s(),
+            recovering=self._recovering,
+            read_only=self._read_only,
+            draining=self._draining or self._result is not None,
+        )
+        if state != self._last_state:
+            prev, self._last_state = self._last_state, state
+            self._state_changes += 1
+            self.obs.on_state_change(self.clock, state=state, prev=prev)
+        return state
+
+    def set_read_only(self, read_only: bool = True) -> None:
+        """Operator override: park (or resume) all state mutation."""
+        self._read_only = bool(read_only)
+        self.service_state()  # publish the transition immediately
+
+    def health(self) -> dict:
+        """The ``/healthz`` document: state, code, and live vitals."""
+        state = self.service_state()
+        return {
+            "ok": state == "healthy",
+            "state": state,
+            "state_code": service_state_code(state),
+            "clock": self.clock,
+            "draining": self._draining,
+            "recovering": self._recovering,
+            "in_flight": self.total_in_flight(),
+            "max_in_flight": self.config.max_in_flight,
+            "journal_latency_s": round(self.journal_latency_s(), 6),
+        }
+
+    # ------------------------------------------------------------------
     # the five operations
     # ------------------------------------------------------------------
     def submit(
@@ -236,6 +309,7 @@ class SchedulingService:
         job: Job | dict,
         *,
         release_time: int | None = None,
+        token: str | None = None,
     ) -> dict:
         """Admit one job (or reject it with a reason + ``retry_after``).
 
@@ -243,9 +317,26 @@ class SchedulingService:
         ``job_to_dict`` document (the wire format).  The service
         re-assigns the job id; the ack carries the assigned id and the
         effective release time.
+
+        ``token`` is an optional client-supplied idempotency key: a
+        submission whose token matches an already-*acknowledged* one is
+        not admitted again — the original ack comes back with
+        ``"duplicate": true``.  That makes retrying a submit safe even
+        when the first ack was lost in flight: at-least-once delivery
+        plus token dedupe equals exactly-once admission.  Rejections are
+        not stored; a retried rejected token gets a fresh decision.
         """
         if not isinstance(tenant, str) or not tenant:
             raise ServiceError("tenant must be a non-empty string")
+        if token is not None and (
+            not isinstance(token, str) or not token
+        ):
+            raise ServiceError(
+                "submission token must be a non-empty string when given"
+            )
+        if token is not None and token in self._tokens:
+            self._duplicates += 1
+            return {**self._tokens[token], "duplicate": True}
         if isinstance(job, dict):
             from repro.io.serialize import job_from_dict
 
@@ -268,6 +359,7 @@ class SchedulingService:
             total_in_flight=self.total_in_flight(),
             draining=self._draining,
             certificate=certificate,
+            state=self.service_state(),
         )
         if not decision.accepted:
             self._rejected += 1
@@ -289,9 +381,10 @@ class SchedulingService:
         release = clock if release_time is None else max(
             clock, int(release_time)
         )
-        self._sim.inject_job(
-            job, release_time=release, meta={"tenant": tenant}
-        )
+        meta = {"tenant": tenant}
+        if token is not None:
+            meta["token"] = token
+        self._sim.inject_job(job, release_time=release, meta=meta)
         # Only count the id as consumed once injection succeeded — a
         # rejected or failed injection must not burn ids, or recovery
         # (which replays only journaled submits) would drift.
@@ -303,13 +396,18 @@ class SchedulingService:
         self.obs.on_submit(
             clock, tenant=tenant, job_id=jid, release=release
         )
-        return {
+        ack = {
             "ok": True,
             "job_id": jid,
             "tenant": tenant,
             "release": release,
             "state": "pending",
         }
+        if token is not None:
+            # The token is journaled with the submit record, so the
+            # dedupe map survives crash recovery with the ack it guards.
+            self._tokens[token] = dict(ack)
+        return ack
 
     def status(self, job_id: int) -> dict:
         """Lifecycle snapshot of one submitted job."""
@@ -334,6 +432,17 @@ class SchedulingService:
 
     def cancel(self, job_id: int) -> dict:
         """Withdraw a not-yet-released job its submitter thought better of."""
+        state = self.service_state()
+        if state == "read-only":
+            return {
+                "ok": False,
+                "error": (
+                    "service is read-only; cancellations are state "
+                    "mutations and are refused until it recovers"
+                ),
+                "reason": "read-only",
+                "retry_after": 4 * self.admission.retry_after,
+            }
         tenant = self._tenant_of.get(job_id)
         if tenant is None:
             return {"ok": False, "error": f"unknown job id {job_id}"}
@@ -357,8 +466,10 @@ class SchedulingService:
             "scheduler": self._sim._scheduler.name,
             "capacities": list(self.config.capacities),
             "draining": self._draining,
+            "state": self.service_state(),
             "accepted": self._accepted,
             "rejected": self._rejected,
+            "duplicates": self._duplicates,
             "cancelled": len(self._cancelled),
             "depths": depths,
             "in_flight": {
@@ -399,6 +510,7 @@ class SchedulingService:
         return {
             "ok": True,
             "makespan": res.makespan,
+            "digest": int(self._sim.digest()),
             "clock": self.clock,
             "accepted": self._accepted,
             "completed": len(res.completion_times),
@@ -424,7 +536,15 @@ class SchedulingService:
         """Advance the engine one ``step_slice``; True when quiescent."""
         if self._result is not None:
             return True
-        return self._sim.advance_until(self.clock + self.config.step_slice)
+        quiescent = self._sim.advance_until(
+            self.clock + self.config.step_slice
+        )
+        if self._recovering:
+            # First completed slice after a recovery: the replayed state
+            # demonstrably advances, so the degraded rung clears.
+            self._recovering = False
+            self.service_state()
+        return quiescent
 
     def metrics_registry(self) -> MetricsRegistry:
         """Engine metrics + live service gauges, one scrapeable registry."""
@@ -442,6 +562,30 @@ class SchedulingService:
             "service_certificate_horizon",
             "Theorem-3 certified completion horizon of the backlog",
         ).set(self.certificate_horizon())
+        state = self.service_state()
+        reg.gauge(
+            "service_state",
+            "degradation ladder rung as a numeric code "
+            "(0=healthy 1=degraded 2=shedding 3=read-only 4=draining)",
+        ).set(service_state_code(state))
+        for name in SERVICE_STATES:
+            reg.gauge(
+                "service_state_info",
+                "one-hot degradation state",
+                state=name,
+            ).set(1.0 if name == state else 0.0)
+        reg.counter(
+            "service_state_changes_total",
+            "degradation-state transitions since start",
+        ).inc(self._state_changes)
+        reg.counter(
+            "service_duplicate_submissions_total",
+            "submissions deduplicated by idempotency token",
+        ).inc(self._duplicates)
+        reg.gauge(
+            "service_journal_append_latency_seconds",
+            "EWMA journal append latency (write+fsync)",
+        ).set(self.journal_latency_s())
         depths = self._sim.queue_depths()
         for state in ("pending", "running", "completed", "failed"):
             reg.gauge(
@@ -507,14 +651,72 @@ class SchedulingService:
             if rec.type == "submit":
                 static = rec.data["job"]["static"]
                 jid = int(static["job_id"])
-                tenant = str(
-                    rec.data.get("meta", {}).get("tenant", "default")
-                )
+                meta = rec.data.get("meta", {})
+                tenant = str(meta.get("tenant", "default"))
+                release = int(rec.data["job"]["release_time"])
                 svc._tenant_of[jid] = tenant
                 svc._jobs_of.setdefault(tenant, []).append(jid)
-                svc._release_of[jid] = int(rec.data["job"]["release_time"])
+                svc._release_of[jid] = release
                 svc._accepted += 1
                 svc._next_id = max(svc._next_id, jid + 1)
+                token = meta.get("token")
+                if token:
+                    # Restore the dedupe map with the ack the original
+                    # submission was promised — a client retrying across
+                    # the crash still gets exactly-once admission.
+                    svc._tokens[str(token)] = {
+                        "ok": True,
+                        "job_id": jid,
+                        "tenant": tenant,
+                        "release": release,
+                        "state": "pending",
+                    }
             elif rec.type == "cancel":
                 svc._cancelled.add(int(rec.data["job_id"]))
+        svc._recovering = True
+        svc.service_state()  # publish the degraded rung immediately
         return svc
+
+    @classmethod
+    def open(
+        cls,
+        config: ServiceConfig,
+        *,
+        obs: Observability | None = None,
+        fault_model=None,
+        retry_policy=None,
+        capacity_schedule=None,
+        churn=None,
+        max_stall_steps: int = 1000,
+    ) -> "SchedulingService":
+        """Start fresh, or resume from an existing non-empty journal.
+
+        The idempotent entry point a supervisor restarts through: the
+        same command line works for the first boot (no journal on disk
+        yet) and for every restart after a crash (journal present, so
+        the service recovers digest-verified instead of starting over).
+        Returns a service whose ``_recovering`` flag tells the caller
+        which path was taken.
+        """
+        if (
+            config.journal_path is not None
+            and os.path.exists(config.journal_path)
+            and os.path.getsize(config.journal_path) > 0
+        ):
+            return cls.recover(
+                config,
+                obs=obs,
+                fault_model=fault_model,
+                retry_policy=retry_policy,
+                capacity_schedule=capacity_schedule,
+                max_stall_steps=max_stall_steps,
+            )
+        return cls(
+            config,
+            obs=obs,
+            fault_model=fault_model,
+            retry_policy=retry_policy,
+            capacity_schedule=capacity_schedule,
+            churn=churn,
+            max_stall_steps=max_stall_steps,
+        )

@@ -1,0 +1,616 @@
+"""Client and operator resilience: retry budgets, circuit breaking,
+graceful degradation, and watchdog self-healing.
+
+Four small machines, each independently testable, together make the
+service survive infrastructure failure without losing an acknowledged
+job:
+
+* :class:`RetryBudget` / :class:`RetrySession` — a *total* budget
+  (attempts **and** wall-clock) for one logical operation, with
+  deterministic jittered exponential backoff that honours the server's
+  ``retry_after`` hints.  When the budget runs dry the session raises a
+  typed :class:`~repro.errors.DeadlineExceeded` carrying attempts and
+  elapsed time, so callers never spin forever.
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine, one per wire endpoint.  Consecutive transport failures trip
+  it open; after ``reset_timeout_s`` one half-open probe is allowed; a
+  probe success closes it, a probe failure re-opens it.  Transitions are
+  reported through a callback so the client can export ``circuit_state``
+  gauges and transition counters.
+* :class:`ResilienceConfig` + :data:`SERVICE_STATES` — the graceful
+  degradation ladder (healthy → degraded → shedding → read-only →
+  draining) the service core walks based on queue depth, journal append
+  latency and recovery status.  The state drives admission decisions,
+  ``/healthz`` status codes and the ``service_state`` gauge.
+* :class:`Watchdog` — a single-shard supervisor (the bottom level of the
+  hierarchical scheme in *Scalable Hierarchical Scheduling for Malleable
+  Parallel Jobs*): it spawns the serving process, probes it for
+  liveness, detects crash (process exit by signal) and hang (probe
+  timeouts), and restarts it through the digest-verified journal
+  recovery path with a bounded recovery deadline.
+
+Everything here is wall-clock level machinery; nothing touches the
+engine's virtual clock, RNG or digests — the determinism contract of the
+simulation plane is untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CircuitOpenError, DeadlineExceeded, ServiceError
+
+__all__ = [
+    "SERVICE_STATES",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "RetryBudget",
+    "RetrySession",
+    "Watchdog",
+    "service_state_code",
+]
+
+#: the graceful-degradation ladder, least to most degraded.  The index
+#: of a state is its numeric code in the ``service_state`` gauge.
+SERVICE_STATES = (
+    "healthy",    # all gates nominal
+    "degraded",   # elevated load / slow journal / fresh recovery; admitting
+    "shedding",   # queue depth critical: new submissions refused
+    "read-only",  # journal distress or operator override: no state mutation
+    "draining",   # terminal: running the backlog dry, then stopping
+)
+
+
+def service_state_code(state: str) -> int:
+    """Numeric code of a degradation state (index in SERVICE_STATES)."""
+    try:
+        return SERVICE_STATES.index(state)
+    except ValueError:
+        raise ServiceError(
+            f"unknown service state {state!r}; expected one of "
+            f"{SERVICE_STATES}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# retry budgets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryBudget:
+    """Total retry allowance for one logical client operation.
+
+    ``max_attempts`` requests and ``max_elapsed_s`` wall-clock seconds,
+    whichever runs out first.  Backoff between attempts is exponential
+    (``base_backoff_s * multiplier**attempt``, capped at
+    ``max_backoff_s``) with multiplicative jitter in
+    ``[1 - jitter, 1 + jitter]`` drawn from a ``seed``-deterministic
+    stream, and it honours the server's ``retry_after`` hint (in virtual
+    steps) by scaling the base delay — the same convention
+    ``submit_blocking`` always used.
+    """
+
+    max_attempts: int = 8
+    max_elapsed_s: float = 30.0
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.max_elapsed_s <= 0:
+            raise ServiceError(
+                f"max_elapsed_s must be > 0, got {self.max_elapsed_s}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ServiceError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ServiceError("backoff bounds must be >= 0")
+
+    def session(
+        self,
+        op: str,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "RetrySession":
+        """Open a :class:`RetrySession` charging against this budget."""
+        return RetrySession(self, op, clock=clock, sleep=sleep)
+
+
+class RetrySession:
+    """One logical operation's draw-down of a :class:`RetryBudget`.
+
+    Usage pattern (the client's resilient request loop)::
+
+        session = budget.session("submit")
+        while True:
+            session.charge(last_error=...)   # raises DeadlineExceeded
+            try:
+                return do_request()
+            except transient:
+                session.backoff(retry_after=hint)
+
+    ``clock``/``sleep`` are injectable for tests (no real waiting).
+    """
+
+    def __init__(
+        self,
+        budget: RetryBudget,
+        op: str,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.budget = budget
+        self.op = str(op)
+        self.attempts = 0
+        self._clock = clock
+        self._sleep = sleep
+        self._started = clock()
+        self._rng = (
+            None
+            if budget.seed is None
+            else np.random.default_rng(budget.seed)
+        )
+        self.last_error: str | None = None
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def charge(self, last_error: str | None = None) -> None:
+        """Account one attempt; raise when the budget is exhausted."""
+        if last_error is not None:
+            self.last_error = last_error
+        if self.attempts >= self.budget.max_attempts:
+            raise DeadlineExceeded(
+                f"{self.op}: retry budget exhausted after "
+                f"{self.attempts} attempts in {self.elapsed:.2f}s"
+                + (f" (last: {self.last_error})" if self.last_error else ""),
+                op=self.op,
+                attempts=self.attempts,
+                elapsed=self.elapsed,
+                last_error=self.last_error,
+            )
+        if self.elapsed >= self.budget.max_elapsed_s:
+            raise DeadlineExceeded(
+                f"{self.op}: retry deadline of "
+                f"{self.budget.max_elapsed_s:.2f}s exceeded after "
+                f"{self.attempts} attempts ({self.elapsed:.2f}s elapsed)"
+                + (f" (last: {self.last_error})" if self.last_error else ""),
+                op=self.op,
+                attempts=self.attempts,
+                elapsed=self.elapsed,
+                last_error=self.last_error,
+            )
+        self.attempts += 1
+
+    def next_delay(self, retry_after: int | None = None) -> float:
+        """The jittered backoff before the next attempt, in seconds."""
+        b = self.budget
+        delay = b.base_backoff_s * (
+            b.multiplier ** max(0, self.attempts - 1)
+        )
+        if retry_after is not None:
+            delay *= max(1, int(retry_after))
+        delay = min(delay, b.max_backoff_s)
+        if b.jitter and delay > 0:
+            if self._rng is not None:
+                u = float(self._rng.uniform(-1.0, 1.0))
+            else:
+                u = float(np.random.uniform(-1.0, 1.0))
+            delay *= 1.0 + b.jitter * u
+        # Never sleep past the deadline: cap at the remaining budget so a
+        # hinted long backoff converts into a prompt DeadlineExceeded.
+        remaining = self.budget.max_elapsed_s - self.elapsed
+        return max(0.0, min(delay, max(0.0, remaining)))
+
+    def backoff(
+        self,
+        retry_after: int | None = None,
+        last_error: str | None = None,
+    ) -> float:
+        """Sleep the jittered backoff; returns the delay used."""
+        if last_error is not None:
+            self.last_error = last_error
+        delay = self.next_delay(retry_after)
+        if delay > 0:
+            self._sleep(delay)
+        return delay
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one wire endpoint.
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker open (a success resets the streak).
+    * **open** — :meth:`allow` refuses instantly (the caller raises
+      :class:`~repro.errors.CircuitOpenError` without touching the
+      wire) until ``reset_timeout_s`` has elapsed, then the breaker
+      moves to half-open.
+    * **half-open** — at most ``half_open_max`` concurrent probes are
+      let through; a probe success closes the breaker, a probe failure
+      re-opens it (restarting the timeout).
+
+    ``clock`` is injectable so the state machine is testable without
+    real waiting; ``on_transition(old, new)`` fires on every state
+    change (metrics export).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ServiceError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        if half_open_max < 1:
+            raise ServiceError(
+                f"half_open_max must be >= 1, got {half_open_max}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_max = int(half_open_max)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+
+    # -- introspection --------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, applying the open → half-open timeout."""
+        self._maybe_half_open()
+        return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker will allow a probe (0 if it
+        already would)."""
+        if self._state != self.OPEN:
+            return 0.0
+        return max(
+            0.0,
+            self._opened_at + self.reset_timeout_s - self._clock(),
+        )
+
+    # -- the machine ----------------------------------------------------
+    def _set_state(self, new: str) -> None:
+        old = self._state
+        if old == new:
+            return
+        self._state = new
+        if self._on_transition is not None:
+            self._on_transition(old, new)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._half_open_inflight = 0
+            self._set_state(self.HALF_OPEN)
+
+    def allow(self) -> bool:
+        """May a request go out right now?  Counts half-open probes."""
+        self._maybe_half_open()
+        if self._state == self.CLOSED:
+            return True
+        if self._state == self.OPEN:
+            return False
+        if self._half_open_inflight >= self.half_open_max:
+            return False
+        self._half_open_inflight += 1
+        return True
+
+    def check(self, op: str) -> None:
+        """Raise :class:`CircuitOpenError` unless :meth:`allow` passes."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit for {op!r} is {self._state}; retry in "
+                f"{self.retry_after():.2f}s",
+                op=op,
+                retry_after=self.retry_after() or self.reset_timeout_s,
+            )
+
+    def record_success(self) -> None:
+        self._maybe_half_open()
+        self._consecutive_failures = 0
+        if self._state == self.HALF_OPEN:
+            self._half_open_inflight = 0
+            self._set_state(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        if self._state == self.HALF_OPEN:
+            self._opened_at = self._clock()
+            self._half_open_inflight = 0
+            self._set_state(self.OPEN)
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == self.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._set_state(self.OPEN)
+
+
+# ----------------------------------------------------------------------
+# graceful degradation policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Thresholds that drive the service's degradation ladder.
+
+    All gates are optional; a ``None`` threshold disarms that rung.  The
+    defaults arm only the advisory ``degraded`` rung (reported in
+    ``/healthz`` and metrics, admission unchanged), so arming
+    ``ServiceConfig.resilience`` never silently changes admission
+    behaviour unless shedding/read-only thresholds are set explicitly.
+
+    * ``degraded_depth_frac`` — in-flight jobs / ``max_in_flight`` at or
+      above this reports ``degraded``.
+    * ``shed_depth_frac`` — at or above this the service *sheds*: new
+      submissions are refused with reason ``shedding`` before the hard
+      ``backpressure`` wall is hit.
+    * ``journal_degraded_s`` / ``journal_read_only_s`` — EWMA journal
+      append latency (seconds) above which the service reports
+      ``degraded`` / stops accepting state mutations (``read-only``);
+      a dying disk degrades the service instead of stalling acks.
+    """
+
+    degraded_depth_frac: float | None = 0.8
+    shed_depth_frac: float | None = None
+    journal_degraded_s: float | None = None
+    journal_read_only_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("degraded_depth_frac", "shed_depth_frac"):
+            v = getattr(self, name)
+            if v is not None and not 0.0 < v <= 1.0:
+                raise ServiceError(
+                    f"{name} must be in (0, 1], got {v}"
+                )
+        for name in ("journal_degraded_s", "journal_read_only_s"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ServiceError(f"{name} must be > 0, got {v}")
+
+    def classify(
+        self,
+        *,
+        depth_frac: float,
+        journal_latency_s: float,
+        recovering: bool,
+        read_only: bool,
+        draining: bool,
+    ) -> str:
+        """Map live signals to a state on the ladder (worst rung wins)."""
+        if draining:
+            return "draining"
+        if read_only or (
+            self.journal_read_only_s is not None
+            and journal_latency_s > self.journal_read_only_s
+        ):
+            return "read-only"
+        if (
+            self.shed_depth_frac is not None
+            and depth_frac >= self.shed_depth_frac
+        ):
+            return "shedding"
+        if recovering:
+            return "degraded"
+        if (
+            self.degraded_depth_frac is not None
+            and depth_frac >= self.degraded_depth_frac
+        ):
+            return "degraded"
+        if (
+            self.journal_degraded_s is not None
+            and journal_latency_s > self.journal_degraded_s
+        ):
+            return "degraded"
+        return "healthy"
+
+
+# ----------------------------------------------------------------------
+# the watchdog supervisor
+# ----------------------------------------------------------------------
+class Watchdog:
+    """Supervise one serving process: probe, detect crash/hang, restart.
+
+    The two collaborators are injected so the machine is testable
+    without processes or sockets:
+
+    * ``spawn()`` starts (or restarts) the serving process and returns a
+      handle with ``poll() -> int | None`` (the exit code once dead) and
+      ``kill()``;
+    * ``probe() -> bool`` performs one liveness check (a ``ping`` over
+      the control socket, in production).
+
+    Supervision policy:
+
+    * a **clean exit** (exit code 0 or 1 — a drained service, possibly
+      with permanently failed jobs) ends supervision with that code;
+    * a **crash** (death by signal, or any exit code >= 2) triggers a
+      restart, up to ``max_restarts`` times;
+    * a **hang** (``hang_probes`` consecutive probe failures while the
+      process is alive, after a ``grace_s`` startup window for journal
+      replay) gets the process killed and restarted;
+    * a restart that does not pass a probe within ``recovery_deadline_s``
+      counts as failed and consumes another restart.
+
+    ``on_event(kind, detail)`` receives a human-readable stream
+    (``spawn``/``crash``/``hang``/``restart``/``giveup``/``exit``) the
+    CLI prints with a ``watchdog:`` prefix.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[], object],
+        probe: Callable[[], bool],
+        *,
+        probe_interval_s: float = 0.25,
+        hang_probes: int = 8,
+        grace_s: float = 10.0,
+        recovery_deadline_s: float = 30.0,
+        max_restarts: int = 5,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        on_event: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if max_restarts < 0:
+            raise ServiceError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if hang_probes < 1:
+            raise ServiceError(
+                f"hang_probes must be >= 1, got {hang_probes}"
+            )
+        self._spawn = spawn
+        self._probe = probe
+        self.probe_interval_s = float(probe_interval_s)
+        self.hang_probes = int(hang_probes)
+        self.grace_s = float(grace_s)
+        self.recovery_deadline_s = float(recovery_deadline_s)
+        self.max_restarts = int(max_restarts)
+        self._clock = clock
+        self._sleep = sleep
+        self._on_event = on_event
+        self.restarts = 0
+
+    def _event(self, kind: str, detail: str) -> None:
+        if self._on_event is not None:
+            self._on_event(kind, detail)
+
+    def _await_recovery(self) -> bool:
+        """Probe until the fresh process answers, bounded by the
+        recovery deadline.  True once it responds."""
+        deadline = self._clock() + self.recovery_deadline_s
+        while self._clock() < deadline:
+            if self._probe():
+                return True
+            self._sleep(self.probe_interval_s)
+        return False
+
+    def run(self) -> int:
+        """Supervise until a clean exit or the restart budget runs out.
+
+        Returns the serving process's final exit code, or 3 when the
+        watchdog gave up (restart budget exhausted or a restart missed
+        its recovery deadline with no budget left).
+        """
+        proc = self._spawn()
+        self._event("spawn", "serving process started")
+        if not self._await_recovery():
+            self._event(
+                "giveup",
+                f"initial start missed the {self.recovery_deadline_s:.0f}s "
+                "recovery deadline",
+            )
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 - already-dead race
+                pass
+            return 3
+        started = self._clock()
+        missed = 0
+        while True:
+            rc = proc.poll()
+            if rc is not None:
+                if 0 <= rc <= 1:
+                    self._event("exit", f"clean exit with code {rc}")
+                    return int(rc)
+                why = (
+                    f"killed by signal {-rc}" if rc < 0
+                    else f"crashed with exit code {rc}"
+                )
+                if not self._restart(why):
+                    return 3
+                proc = self._last_proc
+                started = self._clock()
+                missed = 0
+                continue
+            in_grace = self._clock() - started < self.grace_s
+            if self._probe():
+                missed = 0
+            elif not in_grace:
+                missed += 1
+                if missed >= self.hang_probes:
+                    self._event(
+                        "hang",
+                        f"{missed} consecutive probe failures; killing "
+                        "the serving process",
+                    )
+                    try:
+                        proc.kill()
+                    except Exception:  # noqa: BLE001 - already-dead race
+                        pass
+                    # Let poll() observe the death on the next loop turn;
+                    # the crash path then performs the restart.
+                    missed = 0
+            self._sleep(self.probe_interval_s)
+
+    def _restart(self, why: str) -> bool:
+        """One supervised restart.  False when the budget is exhausted
+        or the replacement missed its recovery deadline with no budget
+        left to try again."""
+        while True:
+            if self.restarts >= self.max_restarts:
+                self._event(
+                    "giveup",
+                    f"{why}; restart budget ({self.max_restarts}) "
+                    "exhausted",
+                )
+                return False
+            self.restarts += 1
+            self._event(
+                "restart",
+                f"{why}; restarting "
+                f"({self.restarts}/{self.max_restarts})",
+            )
+            self._last_proc = self._spawn()
+            if self._await_recovery():
+                self._event(
+                    "spawn",
+                    "replacement answered within the recovery deadline",
+                )
+                return True
+            why = (
+                f"replacement missed the {self.recovery_deadline_s:.0f}s "
+                "recovery deadline"
+            )
+            try:
+                self._last_proc.kill()
+            except Exception:  # noqa: BLE001 - already-dead race
+                pass

@@ -35,6 +35,7 @@ import json
 import threading
 
 from repro.errors import ReproError, ServiceError
+from repro.service.chaos import ChaosConfig, ChaosSchedule
 from repro.service.core import SchedulingService
 from repro.service.queue import FairSubmissionQueue
 
@@ -61,6 +62,14 @@ class ServiceServer:
         port (see :attr:`metrics_address`).
     tick_interval:
         Wall-clock seconds between engine slices while work exists.
+    chaos:
+        Optional :class:`~repro.service.chaos.ChaosConfig` (or a
+        pre-built :class:`~repro.service.chaos.ChaosSchedule`): every
+        control-socket *response* consults the schedule and may be
+        swallowed, delayed, corrupted, or replaced by a disconnect.
+        Faults hit only the wire — the service already processed the
+        request, which is exactly the at-least-once world idempotency
+        tokens exist for.
     """
 
     def __init__(
@@ -72,8 +81,12 @@ class ServiceServer:
         unix_path: str | None = None,
         metrics_port: int | None = None,
         tick_interval: float = 0.002,
+        chaos: ChaosConfig | ChaosSchedule | None = None,
     ) -> None:
         self.service = service
+        if isinstance(chaos, ChaosConfig):
+            chaos = ChaosSchedule(chaos) if chaos.active else None
+        self.chaos: ChaosSchedule | None = chaos
         self._host = host
         self._port = port
         self._unix_path = unix_path
@@ -183,10 +196,12 @@ class ServiceServer:
         try:
             job = payload["job"]
             release = payload.get("release_time")
+            token = payload.get("token")
             return self.service.submit(
                 tenant,
                 job,
                 release_time=None if release is None else int(release),
+                token=None if token is None else str(token),
             )
         except Exception as exc:  # noqa: BLE001 - wire-facing boundary
             return {"ok": False, "error": f"bad submit request: {exc}"}
@@ -222,10 +237,24 @@ class ServiceServer:
                     resp = {"ok": False, "error": f"bad request: {exc}"}
                 else:
                     resp = await self._handle_request(payload)
-                writer.write(
+                line_out = (
                     json.dumps(resp, separators=(",", ":")).encode()
                     + b"\n"
                 )
+                if self.chaos is not None:
+                    fault = self.chaos.next_fault()
+                    if fault is not None:
+                        if fault.kind == "drop":
+                            continue  # the ack vanishes; client retries
+                        if fault.kind == "delay":
+                            await asyncio.sleep(fault.delay_s)
+                        elif fault.kind == "corrupt":
+                            line_out = ChaosSchedule.corrupt(
+                                line_out, fault
+                            )
+                        elif fault.kind == "disconnect":
+                            break  # close without answering
+                writer.write(line_out)
                 await writer.drain()
         except (
             ConnectionResetError,
@@ -303,17 +332,15 @@ class ServiceServer:
                 status = "200 OK"
                 ctype = "text/plain; version=0.0.4; charset=utf-8"
             elif path == "/healthz":
-                body = (
-                    json.dumps(
-                        {
-                            "ok": True,
-                            "clock": self.service.clock,
-                            "draining": self.service.draining,
-                        }
-                    ).encode()
-                    + b"\n"
+                health = self.service.health()
+                body = json.dumps(health).encode() + b"\n"
+                # Anything off the healthy rung answers 503 so load
+                # balancers and probes act on the body's named state.
+                status = (
+                    "200 OK"
+                    if health["state"] == "healthy"
+                    else "503 Service Unavailable"
                 )
-                status = "200 OK"
                 ctype = "application/json"
             else:
                 body = b"not found\n"

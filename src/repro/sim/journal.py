@@ -27,7 +27,9 @@ so a resumed run leaves one continuous journal.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import time
 import zlib
 from typing import Any, Iterator
 
@@ -36,6 +38,8 @@ from repro.errors import JournalError
 __all__ = ["Journal", "JournalRecord", "read_journal", "state_digest"]
 
 JOURNAL_VERSION = 1
+
+logger = logging.getLogger("repro.sim.journal")
 
 
 def _frame_crc(seq: int, rtype: str, data: Any) -> int:
@@ -96,6 +100,10 @@ class Journal:
         self._fsync = bool(fsync)
         self._seq = int(start_seq)
         self._fh = None
+        #: wall-clock seconds the most recent append took (write + fsync)
+        self.last_append_s = 0.0
+        #: EWMA of append latency — the service's journal-health signal
+        self.append_latency_s = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -114,10 +122,17 @@ class Journal:
             "data": data,
         }
         line = json.dumps(record, separators=(",", ":")) + "\n"
+        started = time.perf_counter()
         self._fh.write(line.encode("utf-8"))
         self._fh.flush()
         if self._fsync:
             os.fsync(self._fh.fileno())
+        self.last_append_s = time.perf_counter() - started
+        # EWMA with a short memory: a stalling disk is visible within a
+        # handful of appends, one slow outlier decays quickly.
+        self.append_latency_s = (
+            0.8 * self.append_latency_s + 0.2 * self.last_append_s
+        )
         return self._seq
 
     def close(self) -> None:
@@ -152,6 +167,19 @@ def _parse_line(line: bytes, expected_seq: int) -> JournalRecord | None:
     return JournalRecord(seq, rtype, data)
 
 
+def _self_framed(line: bytes) -> bool:
+    """Does ``line`` parse as a record whose CRC matches its *own*
+    framing (any sequence number)?  Distinguishes intact records after a
+    corruption from the random junk of a torn tail."""
+    try:
+        doc = json.loads(line.decode("utf-8"))
+        return isinstance(doc, dict) and int(doc["crc"]) == _frame_crc(
+            int(doc["seq"]), str(doc["type"]), doc["data"]
+        )
+    except (KeyError, TypeError, ValueError, UnicodeDecodeError):
+        return False
+
+
 def read_journal(
     path: str, *, truncate: bool = False
 ) -> tuple[list[JournalRecord], int, bool]:
@@ -162,6 +190,14 @@ def read_journal(
     prefix, and whether the file ended cleanly (no torn/corrupt tail).
     With ``truncate=True`` a torn tail is physically cut off, leaving the
     file ready for appending.
+
+    A framing failure in the *trailing* record — the signature of a
+    crash mid-``fsync`` — is tolerated with a logged warning, and the
+    valid prefix ends at the last good record.  A framing failure
+    *followed by intact records* is not a torn write: it means data in
+    the middle of the journal is corrupt or missing, silently resuming
+    from the last record before it would drop acknowledged history, so
+    it raises :class:`~repro.errors.JournalError` naming the position.
     """
     try:
         with open(path, "rb") as fh:
@@ -179,12 +215,36 @@ def read_journal(
             clean = False
             break
         rec = _parse_line(raw[pos:nl], expected_seq=len(records) + 1)
-        if rec is None:  # corrupt frame: stop, everything after is junk
+        if rec is None:  # corrupt frame: everything after needs a look
             clean = False
             break
         records.append(rec)
         pos = nl + 1
         valid_bytes = pos
+    if not clean:
+        # Mid-file corruption check: any intact, self-framed record
+        # after the bad frame means this is not a torn tail.
+        tail = raw[valid_bytes:]
+        bad_end = tail.find(b"\n")
+        rest = tail[bad_end + 1 :] if bad_end >= 0 else b""
+        intact_after = sum(
+            1 for line in rest.split(b"\n") if line and _self_framed(line)
+        )
+        if intact_after:
+            raise JournalError(
+                f"{path!r}: corrupt or missing record at seq "
+                f"{len(records) + 1} (byte {valid_bytes}) is followed by "
+                f"{intact_after} intact record(s) — mid-journal "
+                "corruption, not a torn tail; refusing to silently drop "
+                "acknowledged history"
+            )
+        logger.warning(
+            "journal %s: torn trailing record at seq %d (byte %d) — "
+            "tolerated; recovering from the last good record",
+            path,
+            len(records) + 1,
+            valid_bytes,
+        )
     if not clean and truncate:
         with open(path, "r+b") as fh:
             fh.truncate(valid_bytes)

@@ -113,6 +113,94 @@ class TestFraming:
         assert state_digest({"a": 1}) != state_digest({"a": 2})
 
 
+class TestTornTailVsMidCorruption:
+    """A torn *trailing* record is tolerated; corruption anywhere else
+    (intact records follow the bad frame) fails loudly."""
+
+    def _write(self, path, n=4):
+        j = Journal(path, fsync=False)
+        j.append("meta", {"version": 1})
+        for t in range(1, n):
+            j.append("step", {"t": t, "digest": t * 7})
+        j.close()
+
+    def test_truncation_sweep_over_final_record(self, tmp_path):
+        # Cut the file after every possible byte length of the final
+        # record: every prefix must read as a tolerated torn tail with
+        # exactly the first n-1 records intact, never an exception.
+        base = str(tmp_path / "base.journal")
+        self._write(base, n=4)
+        raw = open(base, "rb").read()
+        lines = raw.splitlines(keepends=True)
+        head = b"".join(lines[:-1])
+        last = lines[-1]
+        for cut in range(len(last)):  # 0..len-1 bytes of the last record
+            path = str(tmp_path / f"cut{cut}.journal")
+            open(path, "wb").write(head + last[:cut])
+            records, valid_bytes, clean = read_journal(path)
+            assert len(records) == 3, f"cut at {cut} bytes"
+            assert valid_bytes == len(head)
+            # only the full record reads clean; every partial is torn
+            assert not clean or cut == 0
+
+    def test_truncated_tail_recovery_proceeds(self, rng, machine2, tmp_path):
+        # End-to-end: a journaled run whose last record is half-written
+        # still recovers from the last good record and finishes.
+        path = str(tmp_path / "run.journal")
+        js = _make_js(rng)
+        ref = Simulator(machine2, KRad(), js.fresh_copy()).run()
+        sim = Simulator(
+            machine2,
+            KRad(),
+            js.fresh_copy(),
+            journal=Journal(path, checkpoint_every=3, fsync=False),
+        )
+        assert sim.run_until(6) is None
+        sim._journal.close()
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq":999,"type":"ste')  # torn mid-write
+        recovered = Simulator.recover(path, fsync=False)
+        _assert_identical(recovered.run(), ref)
+
+    def test_mid_journal_corruption_fails_loudly(self, tmp_path):
+        # Flip a byte in record 2 of 4: records 3 and 4 are intact after
+        # the bad frame, so this is NOT a torn tail and must raise.
+        path = str(tmp_path / "mid.journal")
+        self._write(path, n=4)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        body = bytearray(lines[1])
+        body[len(body) // 2] ^= 0xFF
+        lines[1] = bytes(body)
+        open(path, "wb").write(b"".join(lines))
+        with pytest.raises(JournalError, match="mid-journal corruption"):
+            read_journal(path)
+
+    def test_mid_journal_missing_record_fails_loudly(self, tmp_path):
+        # Delete a whole record from the middle: the sequence gap is
+        # followed by intact records, so it must raise, not truncate.
+        path = str(tmp_path / "gap.journal")
+        self._write(path, n=4)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        del lines[1]
+        open(path, "wb").write(b"".join(lines))
+        with pytest.raises(JournalError, match="mid-journal corruption"):
+            read_journal(path)
+
+    def test_trailing_corruption_still_tolerated(self, tmp_path):
+        # Corrupting the *last* record (nothing intact after) stays the
+        # tolerated torn-tail path — same behaviour as before this layer.
+        path = str(tmp_path / "tail.journal")
+        self._write(path, n=4)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        body = bytearray(lines[-1])
+        body[len(body) // 2] ^= 0xFF
+        lines[-1] = bytes(body)
+        open(path, "wb").write(b"".join(lines))
+        records, _, clean = read_journal(path)
+        assert not clean
+        assert len(records) == 3
+
+
 class TestJournaledRuns:
     def test_journaled_run_matches_plain_run(self, rng, machine2, tmp_path):
         js = _make_js(rng)
