@@ -40,6 +40,13 @@ If the service dies mid-run (power cut, SIGKILL), finish its backlog
 offline from the journal::
 
     krad recover svc.journal
+
+Shard the service so one bad shard cannot take down the fleet, and
+watch the shard supervisor work::
+
+    krad serve --capacities 8,4 --shards 2 --port 7180 \\
+        --journal svc.journal
+    krad shards status --connect 127.0.0.1:7180
 """
 
 from __future__ import annotations
@@ -890,6 +897,19 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         help="probability the connection is cut instead of answering "
         "(default 0)",
     )
+    shard = parser.add_argument_group(
+        "sharding (fault-isolated multi-tenant partitions)"
+    )
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition tenants across N supervised shards, each with "
+        "its own engine, admission controller and journal slice; a "
+        "failing shard is quarantined, recovered or failed over "
+        "without touching the others (default 1 = unsharded)",
+    )
     sup = parser.add_argument_group(
         "watchdog supervision (self-healing through journal recovery)"
     )
@@ -1028,6 +1048,7 @@ def _serve_main(argv: list[str]) -> int:
         SchedulingService,
         ServiceConfig,
         ServiceServer,
+        ShardedSchedulingService,
     )
 
     args = _build_serve_parser().parse_args(argv)
@@ -1038,6 +1059,14 @@ def _serve_main(argv: list[str]) -> int:
             raise ValueError(
                 "--socket and --port bind the same control socket; "
                 "pick TCP or Unix, not both"
+            )
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
+        if args.shards > 1 and args.supervised:
+            raise ValueError(
+                "--supervised restarts one serving process through 'krad "
+                "recover'; a sharded service supervises its shards "
+                "in-process instead — pick one recovery story"
             )
         if args.supervised:
             return _supervised_serve(args, argv)
@@ -1093,19 +1122,39 @@ def _serve_main(argv: list[str]) -> int:
                 else 25
             ),
         )
-        resuming = (
-            config.journal_path is not None
-            and os.path.exists(config.journal_path)
-            and os.path.getsize(config.journal_path) > 0
-        )
-        service = SchedulingService.open(
-            config,
-            obs=obs,
-            fault_model=fault_model,
-            retry_policy=retry_policy,
-            capacity_schedule=capacity_schedule,
-            churn=None if resuming else churn,
-        )
+        if args.shards > 1:
+            if (
+                fault_model is not None
+                or capacity_schedule is not None
+                or churn is not None
+            ):
+                raise ValueError(
+                    "--shards partitions a clean pool; per-engine fault "
+                    "flags (--outage/--availability/--churn/task faults) "
+                    "are single-service only"
+                )
+            resuming = config.journal_path is not None and any(
+                os.path.exists(f"{config.journal_path}.shard{i}")
+                and os.path.getsize(f"{config.journal_path}.shard{i}") > 0
+                for i in range(args.shards)
+            )
+            service = ShardedSchedulingService.open(
+                config, args.shards, obs=obs
+            )
+        else:
+            resuming = (
+                config.journal_path is not None
+                and os.path.exists(config.journal_path)
+                and os.path.getsize(config.journal_path) > 0
+            )
+            service = SchedulingService.open(
+                config,
+                obs=obs,
+                fault_model=fault_model,
+                retry_policy=retry_policy,
+                capacity_schedule=capacity_schedule,
+                churn=None if resuming else churn,
+            )
         server = ServiceServer(
             service,
             host=args.host,
@@ -1130,6 +1179,12 @@ def _serve_main(argv: list[str]) -> int:
         if server.metrics_address is not None:
             mhost, mport = server.metrics_address
             print(f"metrics on http://{mhost}:{mport}/metrics", flush=True)
+        if args.shards > 1:
+            print(
+                f"shards: {args.shards} "
+                f"(capacity split {list(service.allotter.split())})",
+                flush=True,
+            )
         if args.journal is not None:
             print(f"journal: {args.journal}", flush=True)
         if resuming:
@@ -1173,6 +1228,19 @@ def _serve_main(argv: list[str]) -> int:
     if args.events_out is not None:
         print(f"events: {args.events_out}")
     res = service.result
+    if isinstance(res, dict):
+        # sharded drains merge per-shard summaries into one document
+        print(
+            f"drained at makespan {res['makespan']}: "
+            f"{res['completed']} completed, "
+            f"{len(res['failed'])} failed"
+        )
+        if res.get("failed_shards"):
+            print(
+                "failed shards (journals retained for replay): "
+                f"{res['failed_shards']}"
+            )
+        return 0 if res.get("ok") and not res["failed"] else 1
     print(
         f"drained at makespan {res.makespan}: "
         f"{len(res.completion_times)} completed, "
@@ -1428,6 +1496,77 @@ def _drain_main(argv: list[str]) -> int:
     return 0 if not summary["failed"] else 1
 
 
+def _shards_main(argv: list[str]) -> int:
+    """The ``krad shards`` subcommand: inspect a sharded service."""
+    parser = argparse.ArgumentParser(
+        prog="krad shards",
+        description=(
+            "Inspect a running 'krad serve --shards N': one row per "
+            "shard with its supervision state, capacity slice, routed "
+            "tenants and recovery progress"
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=["status"],
+        help="what to ask the service (only 'status' for now)",
+    )
+    _add_connect_arguments(parser)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw shards-status document instead of the table",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import ServiceClient
+
+    try:
+        address = _connect_address(args)
+        with ServiceClient(address, timeout=30.0) as client:
+            doc = client.shards_status()
+    except Exception as exc:
+        print(f"krad shards: {exc}", file=sys.stderr)
+        return 2
+    if not doc.get("ok"):
+        print(f"krad shards: {doc.get('error')}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{doc['num_shards']} shards, fleet state {doc['state']}, "
+        f"{doc['failovers']} failovers, supervision tick {doc['tick']}"
+    )
+    header = (
+        f"{'shard':>5}  {'state':<11} {'capacity':<12} "
+        f"{'in-flight':>9}  {'tenants':<24} reason"
+    )
+    print(header)
+    for row in doc["shards"]:
+        caps = ",".join(str(c) for c in row["effective_capacities"])
+        tenants = ",".join(row["tenants"][:4])
+        if len(row["tenants"]) > 4:
+            tenants += f",+{len(row['tenants']) - 4}"
+        print(
+            f"{row['shard']:>5}  {row['state']:<11} {caps:<12} "
+            f"{row.get('in_flight', '-'):>9}  {tenants or '-':<24} "
+            f"{row['reason'] or '-'}"
+        )
+    moves = doc.get("failover_moves") or {}
+    if moves:
+        print(
+            "failed over: "
+            + ", ".join(
+                f"{t}->shard{s}" for t, s in sorted(moves.items())
+            )
+        )
+    healthy = all(r["state"] == "serving" for r in doc["shards"])
+    return 0 if healthy else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -1443,6 +1582,8 @@ def main(argv: list[str] | None = None) -> int:
         return _submit_main(argv[1:])
     if argv and argv[0] == "drain":
         return _drain_main(argv[1:])
+    if argv and argv[0] == "shards":
+        return _shards_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.upper()
 

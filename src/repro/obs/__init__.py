@@ -191,6 +191,19 @@ class Observability:
         if self.bus.active:
             self.bus.emit(t, "state_change", state=state, prev=prev)
 
+    def on_shard_state_change(self, t, *, shard, state, prev, reason):
+        if self.metrics is not None:
+            self.metrics.record_shard_state_change(shard, state)
+        if self.bus.active:
+            self.bus.emit(
+                t,
+                "shard_state_change",
+                shard=shard,
+                state=state,
+                prev=prev,
+                reason=reason,
+            )
+
     def on_checkpoint(self, t):
         if self.metrics is not None:
             self.metrics.record_checkpoint()

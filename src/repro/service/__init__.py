@@ -25,21 +25,38 @@ small daemon with:
   metrics,
   a watchdog supervisor that restarts a crashed or hung server through
   digest-verified journal recovery, and a deterministic chaos transport
-  to prove all of it under seeded network faults.
+  to prove all of it under seeded network faults;
+* **sharding** (:mod:`repro.service.shard` +
+  :mod:`repro.service.router`): N per-shard services behind
+  consistent-hash tenant routing with a journaled routing table, a
+  global allotter splitting the K-category pool across shards, and a
+  shard supervisor that quarantines a failing shard, replays its
+  journal digest-verified, and fails its tenants over to survivors when
+  recovery misses the deadline — one shard's blast radius never reaches
+  the others.
 
 :class:`~repro.service.core.SchedulingService` is the in-process core;
 :class:`~repro.service.server.ServiceServer` puts it on a socket;
 :class:`~repro.service.client.ServiceClient` talks to it.  The CLI
-front ends are ``krad serve`` / ``krad submit`` / ``krad drain``.
+front ends are ``krad serve`` / ``krad submit`` / ``krad drain`` /
+``krad shards status``.
 """
 
 from repro.service.admission import (
     REASON_CODES,
     AdmissionController,
     AdmissionDecision,
+    RejectionReason,
     theorem3_certificate,
 )
-from repro.service.chaos import ChaosConfig, ChaosFault, ChaosSchedule
+from repro.service.chaos import (
+    SHARD_FAULT_KINDS,
+    ChaosConfig,
+    ChaosFault,
+    ChaosSchedule,
+    ShardChaosPlan,
+    ShardFault,
+)
 from repro.service.client import (
     ServiceClient,
     fetch_healthz,
@@ -49,14 +66,28 @@ from repro.service.core import SchedulingService, ServiceConfig
 from repro.service.queue import FairSubmissionQueue
 from repro.service.resilience import (
     SERVICE_STATES,
+    SHARD_STATES,
     CircuitBreaker,
     ResilienceConfig,
     RetryBudget,
     RetrySession,
+    ShardHealthPolicy,
     Watchdog,
     service_state_code,
+    shard_state_code,
+)
+from repro.service.router import (
+    ConsistentHashRing,
+    RoutingTable,
+    ShardedClient,
 )
 from repro.service.server import ServiceServer, ThreadedServer
+from repro.service.shard import (
+    GlobalAllotter,
+    ShardSlot,
+    ShardSupervisor,
+    ShardedSchedulingService,
+)
 
 __all__ = [
     "AdmissionController",
@@ -65,20 +96,34 @@ __all__ = [
     "ChaosFault",
     "ChaosSchedule",
     "CircuitBreaker",
+    "ConsistentHashRing",
     "FairSubmissionQueue",
+    "GlobalAllotter",
     "REASON_CODES",
+    "RejectionReason",
     "ResilienceConfig",
     "RetryBudget",
     "RetrySession",
+    "RoutingTable",
     "SERVICE_STATES",
+    "SHARD_FAULT_KINDS",
+    "SHARD_STATES",
     "SchedulingService",
     "ServiceClient",
     "ServiceConfig",
     "ServiceServer",
+    "ShardChaosPlan",
+    "ShardFault",
+    "ShardHealthPolicy",
+    "ShardSlot",
+    "ShardSupervisor",
+    "ShardedClient",
+    "ShardedSchedulingService",
     "ThreadedServer",
     "Watchdog",
     "fetch_healthz",
     "fetch_metrics_text",
     "service_state_code",
+    "shard_state_code",
     "theorem3_certificate",
 ]

@@ -33,6 +33,7 @@ implement blind backoff without parsing prose.
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass
 
@@ -44,18 +45,35 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "REASON_CODES",
+    "RejectionReason",
     "theorem3_certificate",
 ]
 
-#: every reason code a rejection may carry
-REASON_CODES = (
-    "draining",
-    "read-only",
-    "shedding",
-    "backpressure",
-    "tenant-quota",
-    "load-shed",
-)
+
+class RejectionReason(str, enum.Enum):
+    """Every machine-readable reason code a rejection may carry.
+
+    The single source of truth for the wire vocabulary: admission
+    decisions validate against it, docs/SERVICE.md's fault matrix is
+    tested against it, and clients can match on the enum instead of
+    string literals.  Values are the wire strings (``str`` subclass, so
+    ``RejectionReason.DRAINING == "draining"``).
+    """
+
+    DRAINING = "draining"
+    READ_ONLY = "read-only"
+    SHEDDING = "shedding"
+    BACKPRESSURE = "backpressure"
+    TENANT_QUOTA = "tenant-quota"
+    LOAD_SHED = "load-shed"
+    #: the tenant's shard is quarantined or replaying its journal; the
+    #: sharded router answers this (with ``retry_after``) until the
+    #: shard recovers or its tenants fail over to survivors
+    SHARD_RECOVERING = "shard-recovering"
+
+
+#: the reason codes as wire strings, in declaration order
+REASON_CODES = tuple(r.value for r in RejectionReason)
 
 
 @dataclass(frozen=True)

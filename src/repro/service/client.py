@@ -43,7 +43,7 @@ import urllib.error
 import urllib.request
 import uuid
 
-from repro.errors import CircuitOpenError, ServiceError
+from repro.errors import CircuitOpenError, DeadlineExceeded, ServiceError
 from repro.jobs.base import Job
 from repro.obs import MetricsRegistry
 from repro.service.chaos import ChaosConfig, ChaosSchedule
@@ -62,8 +62,35 @@ _CIRCUIT_CODES = {
 }
 
 
+def _timed_out(url: str, op: str, timeout: float, exc: OSError) -> bool:
+    """Did this urllib failure come from the socket deadline?
+
+    ``urlopen(timeout=...)`` surfaces a hung endpoint either as a bare
+    ``TimeoutError``/``socket.timeout`` or as a ``URLError`` wrapping
+    one — unwrap before classifying.
+    """
+    reason = getattr(exc, "reason", exc)
+    return isinstance(reason, (TimeoutError, socket.timeout))
+
+
+def _raise_deadline(url: str, op: str, timeout: float, exc: OSError):
+    raise DeadlineExceeded(
+        f"{op} {url} exceeded its {timeout:.1f}s read deadline",
+        op=op,
+        attempts=1,
+        elapsed=timeout,
+        last_error=str(exc),
+    ) from exc
+
+
 def fetch_metrics_text(address: tuple[str, int], *, timeout: float = 5.0) -> str:
-    """Scrape ``GET /metrics`` from a live service's HTTP endpoint."""
+    """Scrape ``GET /metrics`` from a live service's HTTP endpoint.
+
+    ``timeout`` bounds both the connect and every read: a hung endpoint
+    (accepted the connection, never answers) raises a typed
+    :class:`~repro.errors.DeadlineExceeded` after ``timeout`` seconds,
+    so a monitoring loop can never block forever on one sick target.
+    """
     host, port = address
     url = f"http://{host}:{port}/metrics"
     try:
@@ -78,6 +105,8 @@ def fetch_metrics_text(address: tuple[str, int], *, timeout: float = 5.0) -> str
             f"{body or exc.reason}"
         ) from exc
     except OSError as exc:
+        if _timed_out(url, "fetch_metrics_text", timeout, exc):
+            _raise_deadline(url, "fetch_metrics_text", timeout, exc)
         raise ServiceError(f"cannot scrape {url}: {exc}") from exc
 
 
@@ -86,7 +115,9 @@ def fetch_healthz(
 ) -> tuple[int, dict]:
     """``GET /healthz``: returns ``(status_code, body)`` without raising
     on 503 — an unhealthy answer is an *answer*, naming the degradation
-    state in the body."""
+    state in the body.  A *hung* endpoint is not an answer: after
+    ``timeout`` seconds a typed :class:`~repro.errors.DeadlineExceeded`
+    is raised instead of blocking the probe loop."""
     host, port = address
     url = f"http://{host}:{port}/healthz"
     try:
@@ -99,6 +130,8 @@ def fetch_healthz(
             doc = {}
         return exc.code, doc
     except OSError as exc:
+        if _timed_out(url, "fetch_healthz", timeout, exc):
+            _raise_deadline(url, "fetch_healthz", timeout, exc)
         raise ServiceError(f"cannot probe {url}: {exc}") from exc
 
 
@@ -433,6 +466,10 @@ class ServiceClient:
 
     def ping(self) -> dict:
         return self.request_resilient("ping", {"op": "ping"})
+
+    def shards_status(self) -> dict:
+        """Per-shard health/routing snapshot (sharded services only)."""
+        return self.request_resilient("shards", {"op": "shards"})
 
     def metrics_text(self) -> str:
         resp = self.request_resilient("metrics", {"op": "metrics"})

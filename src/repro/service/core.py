@@ -215,6 +215,19 @@ class SchedulingService:
         """The final :class:`SimulationResult` once drained, else None."""
         return self._result
 
+    def ping(self) -> bool:
+        """Liveness probe: True iff the engine can answer trivially.
+
+        The in-process analogue of the wire ``ping`` op — what the
+        shard supervisor polls.  A service whose engine is wedged (or
+        gone) fails the probe instead of raising into the prober.
+        """
+        try:
+            self._sim.clock  # noqa: B018 - the probe IS the access
+        except Exception:  # noqa: BLE001 - a wedged engine must not raise
+            return False
+        return True
+
     def tenant_in_flight(self, tenant: str) -> int:
         ids = self._jobs_of.get(tenant)
         if not ids:

@@ -42,7 +42,7 @@ from repro.service.queue import FairSubmissionQueue
 __all__ = ["ServiceServer", "ThreadedServer"]
 
 #: ops handled inline (no admission queueing)
-_IMMEDIATE_OPS = ("status", "cancel", "stats", "ping", "metrics")
+_IMMEDIATE_OPS = ("status", "cancel", "stats", "ping", "metrics", "shards")
 
 
 class ServiceServer:
@@ -297,6 +297,16 @@ class ServiceServer:
                 return {"ok": True, "clock": svc.clock}
             if op == "metrics":
                 return {"ok": True, "text": svc.metrics_text()}
+            if op == "shards":
+                if not hasattr(svc, "shards_status"):
+                    return {
+                        "ok": False,
+                        "error": (
+                            "this service is not sharded; start it with "
+                            "--shards N for per-shard status"
+                        ),
+                    }
+                return svc.shards_status()
             if op == "drain":
                 return await self._do_drain()
             return {"ok": False, "error": f"unknown op {op!r}"}

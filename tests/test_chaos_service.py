@@ -235,6 +235,57 @@ def test_chaos_both_engines_same_jobset_same_digest(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# network partitions, both directions of the wire
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize(
+    "direction", ["client-to-server", "server-to-client"]
+)
+def test_partition_heals_mid_retry_budget(engine, direction):
+    """A partition window on either side of the wire: requests (client
+    side) or responses (server side) vanish for the first W messages,
+    the window closes while the retry budget still has attempts left,
+    and every submission lands exactly once."""
+    window = (0, 6)
+    chaos = ChaosSchedule(ChaosConfig(seed=3, partitions=(window,)))
+    print(f"{direction} partition plan:\n" + chaos.describe(20))
+    cfg = ServiceConfig(capacities=CAPS, seed=13, engine=engine)
+    svc = SchedulingService(cfg, obs=Observability())
+    server_chaos = chaos if direction == "server-to-client" else None
+    client_chaos = chaos if direction == "client-to-server" else None
+    jobs = _jobs(40, 4)
+    with ThreadedServer(svc, chaos=server_chaos) as ts:
+        with ServiceClient(
+            ts.address,
+            timeout=1.0,
+            retry=RetryBudget(
+                max_attempts=30,
+                max_elapsed_s=30.0,
+                base_backoff_s=0.005,
+                max_backoff_s=0.05,
+                seed=4,
+            ),
+            chaos=client_chaos,
+        ) as cli:
+            acks = [cli.submit("t", job) for job in jobs]
+        summary = _drain_with_retries(ts.address)
+
+    # healed mid-budget: every submit eventually acked, exactly once
+    assert all(a["ok"] for a in acks)
+    assert len({a["job_id"] for a in acks}) == len(jobs)
+    assert summary["completed"] == len(jobs)
+    # the partition genuinely ate the whole window — message indices
+    # inside it were assigned and dropped, then traffic flowed
+    assert chaos.injected["drop"] == window[1] - window[0]
+    assert chaos.messages > window[1]
+    if direction == "server-to-client":
+        # server-side drops answer after processing: the retries were
+        # deduplicated by their idempotency tokens, never re-admitted
+        assert svc.stats()["duplicates"] >= 1
+    assert svc.stats()["accepted"] == len(jobs)
+
+
+# ----------------------------------------------------------------------
 # degradation ladder surfaced end to end
 # ----------------------------------------------------------------------
 class TestDegradation:
@@ -330,6 +381,36 @@ class TestDegradation:
                     ("127.0.0.1", httpd.server_address[1])
                 )
             assert "shedding" in str(exc.value)
+        finally:
+            httpd.shutdown()
+
+    def test_fetch_hung_endpoint_raises_typed_deadline(self):
+        # An endpoint that accepts the connection but never answers is
+        # worse than a dead one: both fetchers must give up after their
+        # timeout with a typed DeadlineExceeded naming the op, never
+        # block a monitoring loop indefinitely.
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                time.sleep(30)  # far past any test timeout
+
+            def log_message(self, *a):
+                pass
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        address = ("127.0.0.1", httpd.server_address[1])
+        try:
+            for fetch, op in (
+                (fetch_metrics_text, "fetch_metrics_text"),
+                (fetch_healthz, "fetch_healthz"),
+            ):
+                start = time.monotonic()
+                with pytest.raises(DeadlineExceeded) as exc:
+                    fetch(address, timeout=0.2)
+                elapsed = time.monotonic() - start
+                assert elapsed < 5.0, "timeout did not bound the read"
+                assert exc.value.op == op
+                assert exc.value.elapsed == pytest.approx(0.2)
         finally:
             httpd.shutdown()
 

@@ -522,6 +522,26 @@ class TestServeCli:
             (["serve", "--step-slice", "0"], "step_slice"),
             (["serve", "--tenant-quota", "0"], "tenant_quota"),
             (["serve", "--shed-horizon", "0"], "shed_horizon"),
+            (["serve", "--shards", "0"], "--shards"),
+            (
+                [
+                    "serve", "--shards", "2", "--supervised",
+                    "--port", "7000", "--journal", "x.journal",
+                ],
+                "recovery story",
+            ),
+            (
+                ["serve", "--shards", "2", "--availability", "0.5"],
+                "single-service only",
+            ),
+            (
+                ["serve", "--shards", "2", "--churn", "5:0:-1"],
+                "single-service only",
+            ),
+            (
+                ["serve", "--capacities", "4,1", "--shards", "2"],
+                "every shard needs",
+            ),
             (
                 ["submit", "--connect", "1.2.3.4:1", "--socket", "/tmp/x"],
                 "--connect and --socket",
@@ -537,6 +557,8 @@ class TestServeCli:
             ),
             (["drain", "--connect", "nope"], "HOST:PORT"),
             (["drain"], "where is the service"),
+            (["shards", "status", "--connect", "nope"], "HOST:PORT"),
+            (["shards", "status"], "where is the service"),
             (["recover", "x.journal", "--max-attempts", "2"], "--kill-rate"),
         ],
     )
@@ -555,6 +577,10 @@ class TestServeCli:
 
     def test_drain_unreachable_service(self, capsys):
         assert main(["drain", "--connect", "127.0.0.1:1"]) == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_shards_unreachable_service(self, capsys):
+        assert main(["shards", "status", "--connect", "127.0.0.1:1"]) == 2
         assert "cannot connect" in capsys.readouterr().err
 
     def test_recover_missing_journal(self, capsys):

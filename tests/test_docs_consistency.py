@@ -110,3 +110,47 @@ class TestBenchCoverage:
             assert module in bench_text, (
                 f"experiment {key} ({module}) has no bench"
             )
+
+
+class TestRejectionReasonDocs:
+    """The admission rejection vocabulary and its documentation must
+    agree in both directions: an undocumented wire reason is unusable,
+    a documented-but-dead one is a lie."""
+
+    def _documented_reasons(self):
+        text = read("docs/SERVICE.md")
+        section = text.split("## Admission control", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        return set(re.findall(r"\*\*`([a-z][a-z-]*)`\*\*", section))
+
+    def test_every_reason_code_documented(self):
+        from repro.service import REASON_CODES
+
+        documented = self._documented_reasons()
+        for code in REASON_CODES:
+            assert code in documented, (
+                f"reason {code!r} is in REASON_CODES but not in the "
+                "docs/SERVICE.md admission-control list"
+            )
+
+    def test_every_documented_reason_exists(self):
+        from repro.service import REASON_CODES, RejectionReason
+
+        for name in self._documented_reasons():
+            assert name in REASON_CODES, (
+                f"docs/SERVICE.md documents reason {name!r} which is "
+                "not in repro.service.REASON_CODES"
+            )
+        # the enum and the tuple are the same vocabulary
+        assert set(REASON_CODES) == {r.value for r in RejectionReason}
+
+    def test_fault_matrix_names_every_shard_fault_kind(self):
+        from repro.service import SHARD_FAULT_KINDS
+
+        text = read("docs/SERVICE.md")
+        matrix = text.split("The fault matrix", 1)[1].split("\n\n", 2)[1]
+        for kind in SHARD_FAULT_KINDS:
+            assert kind in matrix, (
+                f"shard fault kind {kind!r} missing from the "
+                "docs/SERVICE.md fault matrix"
+            )
