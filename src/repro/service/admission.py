@@ -70,6 +70,10 @@ class RejectionReason(str, enum.Enum):
     #: sharded router answers this (with ``retry_after``) until the
     #: shard recovers or its tenants fail over to survivors
     SHARD_RECOVERING = "shard-recovering"
+    #: terminal: the shard exhausted recovery and will not come back in
+    #: this process — the only reason that carries no ``retry_after``,
+    #: because an honest hint cannot exist for it
+    SHARD_FAILED = "shard-failed"
 
 
 #: the reason codes as wire strings, in declaration order

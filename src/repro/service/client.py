@@ -422,8 +422,8 @@ class ServiceClient:
         for back-compat), so the wait is always bounded: when the budget
         runs dry a typed :class:`~repro.errors.DeadlineExceeded`
         carrying attempts and elapsed time is raised instead of spinning
-        forever.  A ``draining`` rejection is terminal and raises
-        :class:`ServiceError` immediately.
+        forever.  A ``draining`` or ``shard-failed`` rejection is
+        terminal and raises :class:`ServiceError` immediately.
         """
         budget = self.retry or RetryBudget(
             max_attempts=int(max_tries),
@@ -441,10 +441,10 @@ class ServiceClient:
             )
             if last.get("ok"):
                 return last
-            if last.get("reason") == "draining":
+            if last.get("reason") in ("draining", "shard-failed"):
                 raise ServiceError(
                     f"submission for tenant {tenant!r} not admitted: "
-                    f"draining: {last.get('error')}"
+                    f"{last.get('reason')}: {last.get('error')}"
                 )
             session.backoff(
                 retry_after=last.get("retry_after"),

@@ -140,6 +140,11 @@ class RoutingTable:
         self.num_shards = self.ring.num_shards
         self.assignments: dict[str, int] = {}
         self.dead: set[int] = set()
+        #: failovers over the table's journaled lifetime (replayed on
+        #: load, so the count survives a restart)
+        self.failovers = 0
+        #: tenants moved by failovers: {tenant: destination shard}
+        self.failover_moves: dict[str, int] = {}
         self.journal_path = journal_path
         self.fsync = bool(fsync)
         self._fh = None
@@ -183,27 +188,45 @@ class RoutingTable:
 
         The header pins ``num_shards``/``replicas`` so the replayed ring
         is identical; ``assign``/``failover``/``revive`` records replay
-        in order.  A torn trailing line (crash mid-append) is ignored —
-        the same tolerance the engine journal extends — but a malformed
-        record *before* an intact one raises loudly.
+        in order.  A torn trailing line (crash mid-append) is tolerated
+        — and physically truncated, the same contract
+        :func:`repro.sim.journal.read_journal` extends, so the next
+        append starts on a record boundary instead of concatenating onto
+        the partial line — but a malformed record *before* an intact one
+        raises loudly.
         """
-        with open(journal_path, encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
-        if not lines:
+        with open(journal_path, "rb") as fh:
+            raw = fh.read()
+        if not raw:
             raise ServiceError(
                 f"routing journal {journal_path!r} is empty"
             )
         records: list[dict] = []
-        for i, line in enumerate(lines):
+        valid_bytes = 0
+        pos = 0
+        line_no = 0
+        while pos < len(raw):
+            nl = raw.find(b"\n", pos)
+            line_no += 1
+            if nl == -1:
+                # Unterminated tail: the crash hit before the record's
+                # newline — and therefore before its fsync — landed.
+                break
             try:
-                records.append(json.loads(line))
-            except ValueError:
-                if i == len(lines) - 1:
-                    break  # torn tail: crash mid-append, tolerated
+                records.append(json.loads(raw[pos:nl].decode("utf-8")))
+            except (ValueError, UnicodeDecodeError):
+                if nl == len(raw) - 1:
+                    break  # torn final line: crash mid-append, tolerated
                 raise ServiceError(
                     f"routing journal {journal_path!r} is corrupt at "
-                    f"line {i + 1} (intact records follow)"
+                    f"line {line_no} (intact records follow)"
                 ) from None
+            pos = nl + 1
+            valid_bytes = pos
+        if not records:
+            raise ServiceError(
+                f"routing journal {journal_path!r} has no valid header"
+            )
         head = records[0]
         if head.get("op") != "init" or head.get("v") != ROUTING_VERSION:
             raise ServiceError(
@@ -216,6 +239,8 @@ class RoutingTable:
         table.num_shards = table.ring.num_shards
         table.assignments = {}
         table.dead = set()
+        table.failovers = 0
+        table.failover_moves = {}
         table.journal_path = journal_path
         table.fsync = bool(fsync)
         table._fh = None
@@ -225,8 +250,10 @@ class RoutingTable:
                 table.assignments[str(rec["tenant"])] = int(rec["shard"])
             elif op == "failover":
                 table.dead.add(int(rec["shard"]))
+                table.failovers += 1
                 for tenant, dst in rec.get("moves", {}).items():
                     table.assignments[str(tenant)] = int(dst)
+                    table.failover_moves[str(tenant)] = int(dst)
             elif op == "revive":
                 table.dead.discard(int(rec["shard"]))
             else:
@@ -234,6 +261,12 @@ class RoutingTable:
                     f"routing journal {journal_path!r}: unknown record "
                     f"op {op!r}"
                 )
+        if valid_bytes < len(raw):
+            # Cut the torn tail off *before* reopening for append — a
+            # new record concatenated onto the partial line would drop
+            # (or corrupt past repair) the fsync'd history after it.
+            with open(journal_path, "r+b") as fh:
+                fh.truncate(valid_bytes)
         table._fh = open(journal_path, "a", encoding="utf-8")
         return table
 
@@ -292,6 +325,8 @@ class RoutingTable:
                     tenant, exclude=self.dead
                 )
         self.assignments.update(moves)
+        self.failovers += 1
+        self.failover_moves.update(moves)
         self._append(
             {"op": "failover", "shard": shard, "moves": moves}
         )

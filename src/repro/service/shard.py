@@ -185,9 +185,17 @@ class ShardSupervisor:
         self.allotter = allotter
         self.obs = obs
         self.chaos = chaos
-        self.failovers = 0
-        #: tenants moved by failovers: {tenant: destination shard}
-        self.failover_moves: dict[str, int] = {}
+
+    @property
+    def failovers(self) -> int:
+        """Fleet-lifetime failover count — delegated to the routing
+        table, which journals (and on restart, replays) every one."""
+        return self.routing.failovers
+
+    @property
+    def failover_moves(self) -> dict[str, int]:
+        """Tenants moved by failovers: ``{tenant: destination shard}``."""
+        return self.routing.failover_moves
 
     # ------------------------------------------------------------------
     # state ladder
@@ -415,8 +423,6 @@ class ShardSupervisor:
         slot.effective_capacities = tuple(
             0 for _ in self.allotter.capacities
         )
-        self.failovers += 1
-        self.failover_moves.update(moves)
         self._set_state(
             slot,
             "failed",
@@ -523,6 +529,9 @@ class ShardedSchedulingService:
                     else None
                 ),
             )
+            if i in self.routing.dead:
+                slots.append(self._reopen_dead(i, shard_config))
+                continue
             # open() is the idempotent entry point: fresh boot on an
             # absent journal, digest-verified recovery on a present one
             # — the same property the per-shard restart path leans on.
@@ -539,10 +548,57 @@ class ShardedSchedulingService:
             obs=obs,
             chaos=chaos,
         )
+        # A restart that left shards failed must keep the accounting
+        # plane in step with the routing state: re-split over the
+        # survivors, zero the failed — otherwise telemetry and `shards
+        # status` would report the full even split for a shard that
+        # serves nothing.
+        live = [s.index for s in slots if s.state != "failed"]
+        if len(live) < self.num_shards:
+            resplit = self.allotter.resplit(live)
+            zero = tuple(0 for _ in self.allotter.capacities)
+            for s in slots:
+                s.effective_capacities = resplit.get(s.index, zero)
         self._tick_index = 0
         self._rejected = 0
         self._draining = False
         self._result: dict | None = None
+
+    def _reopen_dead(
+        self, index: int, shard_config: ServiceConfig
+    ) -> ShardSlot:
+        """Rebuild one shard the loaded routing table marks dead.
+
+        A journal that replays cleanly revives the shard (a journaled
+        ``revive`` record: new tenants may hash to it again, while
+        failed-over tenants keep their explicit routes).  Anything else
+        leaves the slot ``failed`` — telemetry and ``shards status``
+        keep reporting the failover instead of pretending the fleet
+        came back whole.
+        """
+        journal = shard_config.journal_path
+        service = None
+        error = ""
+        if journal is not None and os.path.exists(journal) and (
+            os.path.getsize(journal) > 0
+        ):
+            try:
+                service = SchedulingService.open(
+                    shard_config, obs=Observability()
+                )
+            except Exception as exc:  # noqa: BLE001 - corrupt journal etc.
+                error = f"journal replay failed on restart: {exc}"
+        else:
+            error = "no journal to recover from"
+        slot = ShardSlot(index, shard_config, service)
+        if service is not None:
+            self.routing.revive(index)
+            slot.reason = "journal replay verified on restart"
+        else:
+            slot.state = "failed"
+            slot.reason = "failed over before restart; not recoverable"
+            slot.last_error = error
+        return slot
 
     @classmethod
     def open(
@@ -596,17 +652,26 @@ class ShardedSchedulingService:
     # ------------------------------------------------------------------
     def _unavailable(self, shard: int, op: str) -> dict:
         slot = self.slots[shard]
-        return {
+        doc = {
             "ok": False,
             "error": (
                 f"cannot {op}: shard {shard} is {slot.state}"
                 + (f" ({slot.reason})" if slot.reason else "")
             ),
-            "reason": "shard-recovering",
-            "retry_after": self.config.retry_after
-            * max(1, self.supervisor.policy.recovery_deadline_ticks // 2),
             "shard": shard,
         }
+        if slot.state == "failed":
+            # Terminal: the shard exhausted recovery and will not come
+            # back in this process.  No retry_after — an honest hint
+            # cannot exist, and hinting anyway would make a dead shard
+            # look indefinitely retryable.
+            doc["reason"] = "shard-failed"
+        else:
+            doc["reason"] = "shard-recovering"
+            doc["retry_after"] = self.config.retry_after * max(
+                1, self.supervisor.policy.recovery_deadline_ticks // 2
+            )
+        return doc
 
     def submit(
         self,
@@ -634,7 +699,7 @@ class ShardedSchedulingService:
                 self._tick_index,
                 tenant=tenant,
                 reason=rejection["reason"],
-                retry_after=rejection["retry_after"],
+                retry_after=rejection.get("retry_after"),
             )
             return rejection
         ack = slot.service.submit(

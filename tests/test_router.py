@@ -190,6 +190,57 @@ class TestRoutingTable:
         with pytest.raises(ServiceError, match="header"):
             RoutingTable.load(path)
 
+    def test_load_rejects_journal_whose_only_line_is_torn(
+        self, tmp_path
+    ):
+        # the header itself was torn: no valid records at all must be a
+        # typed error, not an IndexError
+        path = str(tmp_path / "routing.journal")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "op": "in')
+        with pytest.raises(ServiceError, match="header"):
+            RoutingTable.load(path)
+
+    def test_torn_tail_is_truncated_before_reappending(self, tmp_path):
+        """A post-recovery append must start on a record boundary: if
+        the torn bytes were left in place, the next append would
+        concatenate onto them and silently drop (one append) or
+        permanently corrupt (two appends) fsync'd history."""
+        path = str(tmp_path / "routing.journal")
+        table = RoutingTable(2, journal_path=path, fsync=False)
+        expected = {"ada": table.shard_for("ada")}
+        table.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "assign", "tenant": "gr')  # crash mid-append
+
+        loaded = RoutingTable.load(path, fsync=False)
+        expected["grace"] = loaded.shard_for("grace")
+        loaded.close()
+        again = RoutingTable.load(path, fsync=False)
+        # the post-recovery append is an *explicit* assignment — merely
+        # re-deriving it from the ring would not count as surviving
+        assert again.assignments == expected
+        expected["lin"] = again.shard_for("lin")
+        again.close()
+        final = RoutingTable.load(path, fsync=False)
+        assert final.assignments == expected
+        final.close()
+
+    def test_failover_count_and_moves_survive_reload(self, tmp_path):
+        path = str(tmp_path / "routing.journal")
+        table = RoutingTable(3, journal_path=path, fsync=False)
+        for t in TENANTS[:12]:
+            table.shard_for(t)
+        victim = table.shard_for(TENANTS[0])
+        moves = table.fail_over(victim)
+        assert table.failovers == 1 and table.failover_moves == moves
+        table.close()
+
+        loaded = RoutingTable.load(path, fsync=False)
+        assert loaded.failovers == 1
+        assert loaded.failover_moves == moves
+        loaded.close()
+
 
 # ----------------------------------------------------------------------
 # client-side router

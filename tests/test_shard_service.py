@@ -344,6 +344,15 @@ class TestSupervisionLadder:
         assert ack["ok"] and ack["shard"] == 1
         assert svc.routing.shard_for(victim_tenant) == 1
 
+        # status/cancel against the dead shard are *terminal*: typed
+        # shard-failed, and no retry_after — a dead shard must not look
+        # indefinitely retryable
+        gid = svc.global_id(0, 0)
+        for doc in (svc.status(gid), svc.cancel(gid)):
+            assert doc["ok"] is False
+            assert doc["reason"] == RejectionReason.SHARD_FAILED.value
+            assert "retry_after" not in doc
+
         health = svc.health()
         assert health["ok"] is False
         assert health["sickest_shard"] == 0
@@ -387,6 +396,79 @@ class TestSupervisionLadder:
         assert dirty["failovers"] == 1
         assert clean["digests"][1] == dirty["digests"][1]
         assert clean["makespan"] == dirty["makespan"]
+
+    def _failed_over_fleet(self, tmp_path):
+        """A journaled 2-shard fleet whose shard 0 failed over: a hang
+        outlives the recovery deadline, so the shard dies with its
+        journal intact (and one acked job in it) on disk."""
+        chaos = ShardChaosPlan(
+            [ShardFault(shard=0, kind="hang", start=0, stop=100)]
+        )
+        svc = self._fleet(
+            tmp_path,
+            chaos=chaos,
+            policy=ShardHealthPolicy(
+                missed_pings=1, recovery_deadline_ticks=2
+            ),
+        )
+        victim = _tenant_on(svc, 0)
+        assert svc.submit(victim, _jobs(6, 1)[0], release_time=0)["ok"]
+        _run_ticks(svc, 5)
+        assert svc.slots[0].state == "failed"
+        assert svc.routing.dead == {0}
+        assert svc.supervisor.failovers == 1
+        svc.routing.close()
+        return victim
+
+    def test_restart_revives_failed_shard_with_clean_journal(
+        self, tmp_path
+    ):
+        victim = self._failed_over_fleet(tmp_path)
+
+        svc2 = self._fleet(tmp_path, chaos=None, policy=None)
+        slot = svc2.slots[0]
+        assert slot.state == "serving"
+        assert slot.reason == "journal replay verified on restart"
+        assert svc2.routing.dead == set()
+        # the failover is history, not amnesia: the journaled count
+        # survives the restart
+        assert svc2.supervisor.failovers == 1
+        assert svc2.shards_status()["failovers"] == 1
+        # the revived shard rejoins the accounting plane at its even
+        # split, and its acked job replayed
+        assert slot.effective_capacities == tuple(
+            c // 2 for c in CAPS
+        )
+        assert slot.service.total_in_flight() == 1
+        # failed-over tenants keep their explicit route; new tenants
+        # may hash to the revived shard again
+        assert svc2.routing.shard_for(victim) == 1
+        fresh = _tenant_on(svc2, 0)
+        ack = svc2.submit(fresh, _jobs(9, 1)[0], release_time=0)
+        assert ack["ok"] and ack["shard"] == 0
+
+    def test_restart_keeps_unrecoverable_shard_failed(self, tmp_path):
+        self._failed_over_fleet(tmp_path)
+        os.remove(tmp_path / "fleet.journal.shard0")
+
+        svc2 = self._fleet(tmp_path, chaos=None, policy=None)
+        slot = svc2.slots[0]
+        assert slot.state == "failed"
+        assert slot.service is None
+        assert "no journal" in slot.last_error
+        assert svc2.routing.dead == {0}
+        assert svc2.supervisor.failovers == 1
+        # accounting plane agrees with the routing state: the survivor
+        # owns the whole pool, the corpse owns nothing
+        assert slot.effective_capacities == tuple(0 for _ in CAPS)
+        assert svc2.slots[1].effective_capacities == CAPS
+        assert svc2.health()["sickest_shard_state"] == "failed"
+        doc = svc2.status(svc2.global_id(0, 0))
+        assert doc["reason"] == RejectionReason.SHARD_FAILED.value
+        assert "retry_after" not in doc
+        # the survivor serves on
+        other = _tenant_on(svc2, 1)
+        assert svc2.submit(other, _jobs(10, 1)[0], release_time=0)["ok"]
 
 
 # ----------------------------------------------------------------------
