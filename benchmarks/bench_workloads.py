@@ -1,0 +1,71 @@
+"""WORKLOADS bench — scenario-driven sustained load, built and replayed.
+
+Not a paper artefact: repository QA for the workload/trace/replay layer
+(the timing companion of the SCEN experiment,
+:mod:`repro.experiments.exp_scenarios`).  Each cell materialises a named
+scenario from the library
+(:mod:`repro.workloads.scenarios`) and replays it through one engine via
+the same record-by-record online injection ``krad replay`` uses, so the
+timed path covers trace parsing amortised once plus inject/advance/run.
+The flash-crowd cell is the adversarial arrival burst; heavy-tail is the
+elephants-and-mice size mix; adversarial-mix layers fault injection on
+top (so its cell also pins the fault-hook overhead under replay).
+
+Every cell asserts the replay completed and, once per scenario, that the
+reference and fast replays are bit-identical — a green benchmark run is
+also a conformance run.  ``compare_bench.py`` gates CI on no cell
+regressing more than 25% against the committed baseline
+(``BENCH_workloads.baseline.json``); the engine-speedup gate does not
+apply here (CI passes ``--min-speedup 0``).
+"""
+
+import pytest
+
+from repro.sim import ENGINE_NAMES
+from repro.workloads import build_trace, replay, replay_compare
+
+SCENARIO_CELLS = ("flash-crowd", "heavy-tail", "adversarial-mix")
+N_JOBS = 24
+SEED = 0
+
+_conformance_checked: set[str] = set()
+
+
+def _trace(name):
+    return build_trace(name, seed=SEED, num_jobs=N_JOBS)
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+@pytest.mark.parametrize("scenario", SCENARIO_CELLS)
+def test_scenario_replay(benchmark, scenario, engine):
+    trace = _trace(scenario)
+    if scenario not in _conformance_checked:
+        # prove once per scenario that the timed path is the identical
+        # schedule on both engines; benchmark rounds then skip the proof
+        replay_compare(trace)
+        _conformance_checked.add(scenario)
+
+    out = benchmark(lambda: replay(trace, engine=engine, record_trace=False))
+    res = out.result
+    assert res.makespan > 0
+    completed = len(res.completion_times)
+    assert completed + len(res.failed_jobs) == N_JOBS, res
+    print(
+        f"\n{scenario}[{engine}]: makespan {res.makespan}, "
+        f"{completed} completed, {len(res.failed_jobs)} failed"
+    )
+
+
+def test_scenario_build(benchmark):
+    """Trace materialisation alone (generators + serialisation), one
+    pass over every registered scenario."""
+    from repro.workloads import scenario_names
+
+    def build_all():
+        return [
+            build_trace(n, seed=SEED, num_jobs=N_JOBS)
+            for n in scenario_names()
+        ]
+
+    traces = benchmark(build_all)
+    assert all(len(t) == N_JOBS for t in traces)

@@ -47,6 +47,15 @@ watch the shard supervisor work::
     krad serve --capacities 8,4 --shards 2 --port 7180 \\
         --journal svc.journal
     krad shards status --connect 127.0.0.1:7180
+
+Generate a named workload scenario, or record a live service run, then
+replay it bit-identically through both engines::
+
+    krad workload list
+    krad workload gen flash-crowd --out crowd.ndjson --seed 3
+    krad serve --capacities 8,4 --port 7180 --trace run.ndjson
+    krad replay crowd.ndjson
+    krad replay run.ndjson --digests
 """
 
 from __future__ import annotations
@@ -73,6 +82,7 @@ _DESCRIPTIONS = {
     "SHOP": "K-DAG model vs DAG-shop scheduling (Related Work)",
     "ADAPT": "adaptivity vs static partitioning / gang scheduling",
     "WKLD": "workload characterization (Table 0)",
+    "SCEN": "scenario library: replayed traces certified vs Theorem 3",
     "APPS": "realistic application templates under every scheduler",
     "SENS": "ratio sensitivity in K and P (measured vs closed form)",
     "OPT": "Theorem 3 vs the exact optimum (small instances)",
@@ -301,68 +311,40 @@ def _validate_fault_flags(args) -> None:
         )
 
 
+def _fault_spec_from_args(args):
+    """The shared fault flags as a plain :func:`fault_spec` document
+    (``None`` when fault-free) — the form a workload-trace header
+    stores, so a recorded run can rebuild identical hooks on replay."""
+    from repro.sim.faults import fault_spec
+
+    _validate_fault_flags(args)
+    return fault_spec(
+        task_fail_rate=args.task_fail_rate,
+        kill_rate=args.kill_rate,
+        availability=args.availability,
+        outage=args.outage,
+        max_attempts=args.max_attempts,
+        seed=args.seed,
+    )
+
+
 def _build_fault_objects(capacities: tuple[int, ...], args):
     """Turn the shared fault flags into engine hook objects.
 
     Returns ``(capacity_schedule, fault_model, retry_policy)``.  The
     shipped models are pure functions of ``(seed, step)``, so building
     them again from the same flags yields the identical objects a
-    crashed run used — which is exactly what ``recover`` needs.
-    Raises :class:`ValueError` on conflicting flags.
+    crashed run used — which is exactly what ``recover`` (and trace
+    replay) need.  Raises :class:`ValueError` on conflicting flags.
     """
-    from repro.sim import (
-        CompositeFaultModel,
-        JobKiller,
-        RandomDegradation,
-        RetryPolicy,
-        TaskFailures,
-    )
-    from repro.sim.faults import periodic_outage
+    from repro.errors import SimulationError
+    from repro.sim.faults import fault_objects_from_spec
 
-    _validate_fault_flags(args)
-    max_attempts = args.max_attempts if args.max_attempts is not None else 3
-
-    capacity_schedule = None
-    if args.outage is not None:
-        parts = [int(p) for p in args.outage.split(":")]
-        if len(parts) == 2:
-            period, duration, degraded = parts[0], parts[1], 1
-        elif len(parts) == 3:
-            period, duration, degraded = parts
-        else:
-            raise ValueError(
-                f"--outage wants PERIOD:DURATION[:DEGRADED], got "
-                f"{args.outage!r}"
-            )
-        capacity_schedule = periodic_outage(
-            capacities,
-            category=0,
-            period=period,
-            duration=duration,
-            degraded=degraded,
-        )
-    elif args.availability is not None:
-        capacity_schedule = RandomDegradation(
-            capacities, availability=args.availability, seed=args.seed
-        )
-
-    models = []
-    if args.task_fail_rate > 0:
-        models.append(TaskFailures(args.task_fail_rate, seed=args.seed))
-    if args.kill_rate > 0:
-        models.append(JobKiller(args.kill_rate, seed=args.seed))
-    fault_model = None
-    if len(models) == 1:
-        fault_model = models[0]
-    elif models:
-        fault_model = CompositeFaultModel(models)
-
-    retry_policy = (
-        RetryPolicy(max_attempts=max_attempts)
-        if fault_model is not None and max_attempts > 1
-        else None
-    )
-    return capacity_schedule, fault_model, retry_policy
+    spec = _fault_spec_from_args(args)
+    try:
+        return fault_objects_from_spec(capacities, spec)
+    except SimulationError as exc:
+        raise ValueError(str(exc)) from None
 
 
 def _build_faults_parser() -> argparse.ArgumentParser:
@@ -845,6 +827,14 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "(default 25).  Only meaningful with --journal",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record every accepted submission/cancellation as an "
+        "NDJSON workload trace; 'krad replay FILE' re-executes the "
+        "run bit-identically through either engine",
+    )
+    parser.add_argument(
         "--churn",
         action="append",
         default=None,
@@ -1094,6 +1084,18 @@ def _serve_main(argv: list[str]) -> int:
         capacity_schedule, fault_model, retry_policy = _build_fault_objects(
             capacities, args
         )
+        if args.trace is not None and args.shards > 1:
+            raise ValueError(
+                "--trace records one engine's submission stream; a "
+                "sharded service runs several engines (per-shard trace "
+                "recording is future work)"
+            )
+        if args.trace is not None and args.churn:
+            raise ValueError(
+                "--trace replays need the fault configuration to be "
+                "expressible in the trace header; --churn schedules are "
+                "not (yet) — drop one of the two"
+            )
         churn = None
         if args.churn:
             from repro.machine.churn import ChurnSchedule
@@ -1120,6 +1122,12 @@ def _serve_main(argv: list[str]) -> int:
                 args.checkpoint_every
                 if args.checkpoint_every is not None
                 else 25
+            ),
+            trace_path=args.trace,
+            extra=(
+                {"faults": _fault_spec_from_args(args)}
+                if args.trace is not None
+                else {}
             ),
         )
         if args.shards > 1:
@@ -1187,6 +1195,8 @@ def _serve_main(argv: list[str]) -> int:
             )
         if args.journal is not None:
             print(f"journal: {args.journal}", flush=True)
+        if args.trace is not None:
+            print(f"trace: {args.trace}", flush=True)
         if resuming:
             print(
                 f"resumed from journal at step {service.clock} "
@@ -1567,6 +1577,176 @@ def _shards_main(argv: list[str]) -> int:
     return 0 if healthy else 1
 
 
+def _replay_main(argv: list[str]) -> int:
+    """The ``krad replay`` subcommand: re-execute a workload trace."""
+    parser = argparse.ArgumentParser(
+        prog="krad replay",
+        description=(
+            "Replay an NDJSON workload trace (recorded by 'krad serve "
+            "--trace', converted from a journal, or generated by 'krad "
+            "workload gen') through the simulation engines.  With no "
+            "--engine, both engines run and the replays are proven "
+            "bit-identical per step; a divergence names the first "
+            "differing step and exits 1"
+        ),
+    )
+    parser.add_argument("trace", help="NDJSON workload trace file")
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="replay through one engine only (reference|fast); "
+        "default: both, compared per-step",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        help="override the recorded scheduler (what-if replay; the "
+        "result is then a counterfactual, not a reproduction)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="verify the replayed schedule against the Section-2 model "
+        "constraints step by step",
+    )
+    parser.add_argument(
+        "--digests",
+        action="store_true",
+        help="also print the schedule digest and terminal state digest",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReplayError, ReproError
+    from repro.workloads import WorkloadTrace, replay, replay_compare
+
+    try:
+        trace = WorkloadTrace.load(args.trace)
+    except (OSError, ReproError) as exc:
+        print(f"krad replay: {exc}", file=sys.stderr)
+        return 2
+    n_submit = len(trace.submissions())
+    n_cancel = len(trace.records) - n_submit
+    origin = trace.scenario or "recorded run"
+    print(
+        f"trace: {origin}, {n_submit} submissions, {n_cancel} "
+        f"cancellations, K={trace.num_categories} "
+        f"{list(trace.capacities)}, scheduler {trace.scheduler}, "
+        f"faults {'on' if trace.faults else 'off'}"
+    )
+    try:
+        if args.engine is not None:
+            out = replay(
+                trace,
+                engine=args.engine,
+                scheduler=args.scheduler,
+                validate=args.validate,
+            )
+            outcomes = {out.engine: out}
+        else:
+            outcomes = replay_compare(
+                trace, scheduler=args.scheduler, validate=args.validate
+            )
+    except ReplayError as exc:
+        where = f" (step {exc.step})" if exc.step is not None else ""
+        print(f"krad replay: DIVERGED{where}: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"krad replay: {exc}", file=sys.stderr)
+        return 2
+    for name in sorted(outcomes):
+        o = outcomes[name]
+        res = o.result
+        print(
+            f"{name:>9}: makespan {res.makespan}, "
+            f"{len(res.completion_times)} completed, "
+            f"{len(res.failed_jobs)} failed, "
+            f"{len(o.step_digests)} executed steps"
+        )
+        if args.digests:
+            print(
+                f"{'':>9}  schedule sha256 {o.schedule_digest[:16]}…, "
+                f"state crc {o.state_digest}"
+            )
+    if len(outcomes) > 1:
+        print(
+            f"bit-identical across {', '.join(sorted(outcomes))} "
+            f"({len(next(iter(outcomes.values())).step_digests)} "
+            "per-step digests equal)"
+        )
+    return 0
+
+
+def _workload_main(argv: list[str]) -> int:
+    """The ``krad workload`` subcommand: the scenario library."""
+    parser = argparse.ArgumentParser(
+        prog="krad workload",
+        description=(
+            "The workload scenario library: list the named scenarios or "
+            "materialise one as an NDJSON trace for 'krad replay'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    sub.add_parser("list", help="one line per scenario")
+    gen = sub.add_parser(
+        "gen", help="generate one scenario as a workload trace"
+    )
+    gen.add_argument("scenario", help="scenario name (see 'list')")
+    gen.add_argument(
+        "--out", required=True, metavar="FILE", help="trace file to write"
+    )
+    gen.add_argument("--seed", type=int, default=0, help="RNG seed")
+    gen.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="job count (default: the scenario's own)",
+    )
+    gen.add_argument(
+        "--capacities",
+        default=None,
+        help="comma-separated per-category processor counts "
+        "(default 6,4,2)",
+    )
+    gen.add_argument(
+        "--scheduler", default="k-rad", help="scheduler recorded in the "
+        "trace header (default k-rad)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+    from repro.workloads import SCENARIOS, build_trace, scenario_names
+
+    if args.action == "list":
+        for name in scenario_names():
+            spec = SCENARIOS[name]
+            tag = "        " if spec.certified else "[faults] "
+            print(f"{name:18s} {tag}{spec.description}")
+        return 0
+    try:
+        trace = build_trace(
+            args.scenario,
+            seed=args.seed,
+            num_jobs=args.jobs,
+            capacities=(
+                _parse_capacities(args.capacities)
+                if args.capacities is not None
+                else None
+            ),
+            scheduler=args.scheduler,
+        )
+        trace.dump(args.out)
+    except (OSError, ReproError, ValueError) as exc:
+        print(f"krad workload: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote {args.out}: {args.scenario}, {len(trace)} submissions, "
+        f"capacities {list(trace.capacities)}, seed {trace.seed}, "
+        f"sha256 {trace.content_digest()[:16]}…"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -1584,6 +1764,10 @@ def main(argv: list[str] | None = None) -> int:
         return _drain_main(argv[1:])
     if argv and argv[0] == "shards":
         return _shards_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return _replay_main(argv[1:])
+    if argv and argv[0] == "workload":
+        return _workload_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.upper()
 

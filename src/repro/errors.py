@@ -66,6 +66,17 @@ class WorkloadError(ReproError):
     """Raised for invalid workload/job-set specifications."""
 
 
+class ReplayError(ReproError):
+    """Raised when a workload-trace replay cannot proceed or when two
+    replays of the same trace diverge.  A divergence carries the first
+    step whose per-step digest differs (``step``, or ``None`` when the
+    replays disagree on the step count)."""
+
+    def __init__(self, message: str, *, step: int | None = None) -> None:
+        super().__init__(message)
+        self.step = None if step is None else int(step)
+
+
 class ServiceError(ReproError):
     """Raised for online-service failures: bad service configuration,
     protocol violations, or client transport errors.  Admission

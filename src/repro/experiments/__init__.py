@@ -27,6 +27,7 @@ from repro.experiments import (
     exp_randomized,
     exp_response_heavy,
     exp_response_light,
+    exp_scenarios,
     exp_sensitivity,
     exp_speeds,
     exp_workloads,
@@ -51,6 +52,7 @@ REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
     "SHOP": exp_dagshop.run,
     "ADAPT": exp_adaptivity.run,
     "WKLD": exp_workloads.run,
+    "SCEN": exp_scenarios.run,
     "APPS": exp_applications.run,
     "SENS": exp_sensitivity.run,
     "OPT": exp_optimal.run,

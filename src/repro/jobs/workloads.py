@@ -278,9 +278,15 @@ def poisson_release_times(
     """Integer arrival times of a Poisson process with ``rate`` jobs/step.
 
     The first job arrives at time 0 so the schedule starts immediately.
+    ``num_jobs=0`` yields ``[]``, so scenario code can draw arrival
+    counts from a distribution without special-casing empty draws.
     """
+    if num_jobs < 0:
+        raise WorkloadError(f"num_jobs must be >= 0, got {num_jobs}")
     if rate <= 0:
         raise WorkloadError(f"rate must be > 0, got {rate}")
+    if num_jobs == 0:
+        return []
     gaps = rng.exponential(1.0 / rate, size=num_jobs)
     times = np.floor(np.cumsum(gaps)).astype(np.int64)
     times -= times[0]
@@ -290,9 +296,16 @@ def poisson_release_times(
 def uniform_release_times(
     rng: np.random.Generator, num_jobs: int, horizon: int
 ) -> list[int]:
-    """Arrival times uniform on ``[0, horizon]``, sorted, first at 0."""
+    """Arrival times uniform on ``[0, horizon]``, sorted, first at 0.
+
+    ``num_jobs=0`` yields ``[]``.
+    """
+    if num_jobs < 0:
+        raise WorkloadError(f"num_jobs must be >= 0, got {num_jobs}")
     if horizon < 0:
         raise WorkloadError(f"horizon must be >= 0, got {horizon}")
+    if num_jobs == 0:
+        return []
     times = np.sort(rng.integers(0, horizon + 1, size=num_jobs))
     times -= times[0]
     return times.tolist()
@@ -311,6 +324,8 @@ def bursty_release_times(
     system between the DEQ and RR regimes, exercising K-RAD's mode switch.
     Burst sizes are jittered ±50% so bursts do not align artificially.
     """
+    if num_jobs < 0:
+        raise WorkloadError(f"num_jobs must be >= 0, got {num_jobs}")
     if burst_size < 1 or gap < 0:
         raise WorkloadError(
             f"need burst_size >= 1 and gap >= 0; got {burst_size}, {gap}"
@@ -322,7 +337,10 @@ def bursty_release_times(
             rng.integers(max(1, burst_size // 2), burst_size + burst_size // 2 + 1)
         )
         times.extend([t] * min(size, num_jobs - len(times)))
-        t += int(rng.integers(max(1, gap // 2), gap + gap // 2 + 1))
+        # gap=0 means back-to-back bursts (one continuous burst at t=0);
+        # jitter bounds would otherwise collapse to an empty interval.
+        if gap > 0:
+            t += int(rng.integers(max(1, gap // 2), gap + gap // 2 + 1))
     return times
 
 

@@ -85,6 +85,12 @@ class ServiceConfig:
     journal_path: str | None = None
     checkpoint_every: int = 25
     fsync: bool = True
+    #: record every accepted submit/cancel as an NDJSON workload trace
+    #: (:mod:`repro.workloads.trace`) replayable via ``krad replay``;
+    #: the fault spec stored in ``extra["faults"]`` (a
+    #: :func:`repro.sim.faults.fault_spec` dict) is embedded in the
+    #: trace header so replays rebuild identical fault hooks
+    trace_path: str | None = None
     resilience: ResilienceConfig | None = None
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -175,6 +181,23 @@ class SchedulingService:
             if config.resilience is not None
             else ResilienceConfig()
         )
+        self._trace_writer = None
+        if config.trace_path is not None:
+            from repro.workloads.trace import WorkloadTraceWriter
+
+            # append=True makes restarts additive: a recovered service
+            # keeps extending the run's one workload trace (the engine
+            # replays journaled submissions internally, so none are
+            # re-recorded here).
+            self._trace_writer = WorkloadTraceWriter(
+                config.trace_path,
+                capacities=tuple(config.capacities),
+                names=config.names,
+                scheduler=config.scheduler,
+                seed=config.seed,
+                faults=config.extra.get("faults"),
+                append=True,
+            )
         self._tenant_of: dict[int, str] = {}
         self._jobs_of: dict[str, list[int]] = {}
         self._release_of: dict[int, int] = {}
@@ -403,6 +426,10 @@ class SchedulingService:
         # (which replays only journaled submits) would drift.
         self._next_id = jid + 1
         self._accepted += 1
+        if self._trace_writer is not None:
+            self._trace_writer.record_submit(
+                t=clock, release=release, tenant=tenant, job=job
+            )
         self._tenant_of[jid] = tenant
         self._jobs_of.setdefault(tenant, []).append(jid)
         self._release_of[jid] = release
@@ -466,6 +493,8 @@ class SchedulingService:
         except SimulationError as exc:
             return {"ok": False, "error": str(exc)}
         self._cancelled.add(job_id)
+        if self._trace_writer is not None:
+            self._trace_writer.record_cancel(t=self.clock, job_id=job_id)
         self.obs.on_cancel(self.clock, tenant=tenant, job_id=job_id)
         return {"ok": True, "job_id": job_id, "state": "cancelled"}
 
@@ -501,6 +530,8 @@ class SchedulingService:
         ``end`` record, so the journal reads as a *completed* run).
         """
         self._draining = True
+        if self._trace_writer is not None:
+            self._trace_writer.close()
         if self._result is None:
             self._result = self._sim.run()
             self.obs.on_drain(

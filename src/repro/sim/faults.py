@@ -36,6 +36,8 @@ __all__ = [
     "JobKiller",
     "ScriptedKills",
     "CompositeFaultModel",
+    "fault_spec",
+    "fault_objects_from_spec",
 ]
 
 
@@ -272,3 +274,124 @@ class CompositeFaultModel(FaultModel):
                     seen.add(jid)
                     killed.append(jid)
         return killed
+
+
+# ----------------------------------------------------------------------
+# declarative fault specs (serialisable; workload traces and the CLI)
+# ----------------------------------------------------------------------
+def fault_spec(
+    *,
+    task_fail_rate: float = 0.0,
+    kill_rate: float = 0.0,
+    availability: float | None = None,
+    outage: str | None = None,
+    max_attempts: int | None = None,
+    seed: int = 0,
+) -> dict | None:
+    """A plain-JSON description of a fault configuration, or ``None``.
+
+    The shipped fault hooks are pure functions of ``(seed, step)``, so
+    this spec is all a workload trace needs to rebuild the *identical*
+    hooks on replay (``outage`` uses the CLI's ``PERIOD:DURATION[:DEG]``
+    string form).  Returns ``None`` when every field is inert — a
+    fault-free run records no fault block at all.
+    """
+    if outage is not None and availability is not None:
+        raise SimulationError(
+            "outage and availability are mutually exclusive; "
+            "pick one capacity-fault mode"
+        )
+    if max_attempts is not None and kill_rate <= 0:
+        raise SimulationError(
+            "max_attempts only governs killed-job retries; "
+            "it needs kill_rate > 0"
+        )
+    spec = {
+        "task_fail_rate": float(task_fail_rate),
+        "kill_rate": float(kill_rate),
+        "availability": (
+            float(availability) if availability is not None else None
+        ),
+        "outage": str(outage) if outage is not None else None,
+        "max_attempts": (
+            int(max_attempts) if max_attempts is not None else None
+        ),
+        "seed": int(seed),
+    }
+    inert = (
+        spec["task_fail_rate"] == 0.0
+        and spec["kill_rate"] == 0.0
+        and spec["availability"] is None
+        and spec["outage"] is None
+    )
+    return None if inert else spec
+
+
+def fault_objects_from_spec(capacities: Sequence[int], spec: Mapping | None):
+    """Rebuild engine fault hooks from a :func:`fault_spec` document.
+
+    Returns ``(capacity_schedule, fault_model, retry_policy)`` — the
+    triple :class:`~repro.sim.engine.Simulator` takes.  Building twice
+    from the same spec yields behaviourally identical hooks (pure in
+    ``(seed, step)``), which is what bit-identical trace replay and
+    journal recovery both rely on.
+    """
+    if spec is None:
+        return None, None, None
+    from repro.sim.retry import RetryPolicy
+
+    spec = dict(spec)
+    seed = int(spec.get("seed", 0))
+    task_fail_rate = float(spec.get("task_fail_rate", 0.0) or 0.0)
+    kill_rate = float(spec.get("kill_rate", 0.0) or 0.0)
+    availability = spec.get("availability")
+    outage = spec.get("outage")
+    max_attempts = spec.get("max_attempts")
+    if outage is not None and availability is not None:
+        raise SimulationError(
+            "fault spec sets both outage and availability; they are "
+            "mutually exclusive capacity-fault modes"
+        )
+
+    capacity_schedule = None
+    if outage is not None:
+        parts = [int(p) for p in str(outage).split(":")]
+        if len(parts) == 2:
+            period, duration, degraded = parts[0], parts[1], 1
+        elif len(parts) == 3:
+            period, duration, degraded = parts
+        else:
+            raise SimulationError(
+                f"outage spec wants PERIOD:DURATION[:DEGRADED], got "
+                f"{outage!r}"
+            )
+        capacity_schedule = periodic_outage(
+            capacities,
+            category=0,
+            period=period,
+            duration=duration,
+            degraded=degraded,
+        )
+    elif availability is not None:
+        capacity_schedule = RandomDegradation(
+            capacities, availability=float(availability), seed=seed
+        )
+
+    models: list[FaultModel] = []
+    if task_fail_rate > 0:
+        models.append(TaskFailures(task_fail_rate, seed=seed))
+    if kill_rate > 0:
+        models.append(JobKiller(kill_rate, seed=seed))
+    fault_model: FaultModel | None = None
+    if len(models) == 1:
+        fault_model = models[0]
+    elif models:
+        fault_model = CompositeFaultModel(models)
+
+    attempts = int(max_attempts) if max_attempts is not None else 3
+    retry_policy = (
+        RetryPolicy(max_attempts=attempts)
+        if fault_model is not None and attempts > 1
+        else None
+    )
+    return capacity_schedule, fault_model, retry_policy

@@ -65,6 +65,7 @@ class TestRegistry:
         }
         extensions = {
             "RAND", "SPEED", "FEEDBACK", "ABLATE", "FAULT", "CHURN", "HUNT",
+            "SCEN",
         }
         assert set(REGISTRY) == paper | extensions
 

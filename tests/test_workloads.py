@@ -129,6 +129,37 @@ class TestReleaseTimes:
         with pytest.raises(WorkloadError):
             workloads.bursty_release_times(rng, 5, burst_size=0)
 
+    def test_zero_jobs_yield_empty(self, rng):
+        assert workloads.poisson_release_times(rng, 0, rate=0.5) == []
+        assert workloads.uniform_release_times(rng, 0, horizon=10) == []
+        assert workloads.bursty_release_times(rng, 0) == []
+
+    def test_negative_jobs_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            workloads.poisson_release_times(rng, -1, rate=0.5)
+        with pytest.raises(WorkloadError):
+            workloads.uniform_release_times(rng, -1, horizon=10)
+        with pytest.raises(WorkloadError):
+            workloads.bursty_release_times(rng, -1)
+
+    def test_bursty_zero_gap_is_one_continuous_burst(self, rng):
+        times = workloads.bursty_release_times(
+            rng, 25, burst_size=4, gap=0
+        )
+        assert times == [0] * 25
+
+    def test_bursty_gap_draws_unchanged_for_positive_gap(self):
+        # the gap=0 fix must not shift the RNG draw sequence of
+        # gap>0 calls, or every seeded workload downstream changes
+        a = workloads.bursty_release_times(
+            np.random.default_rng(42), 40, burst_size=8, gap=50
+        )
+        b = workloads.bursty_release_times(
+            np.random.default_rng(42), 40, burst_size=8, gap=50
+        )
+        assert a == b
+        assert max(a) > 0
+
 
 class TestBimodal:
     def test_mix_proportions(self, rng):
