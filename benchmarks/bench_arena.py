@@ -1,0 +1,52 @@
+"""ARENA bench — the reduced policy tournament, timed.
+
+Not a paper artefact: repository QA for the arena layer (the timing
+companion of the ARENA experiment, :mod:`repro.experiments.exp_arena`).
+Each cell times one single-engine tournament over the CI smoke
+configuration — two scenarios x every registered policy — so the timed
+path covers scenario materialisation, per-cell trace replay with
+per-step ``check_allotments`` validation, lower-bound computation and
+leaderboard assembly.  A conformance pass runs once per session: the
+reference and fast tournaments must agree on the engine-masked
+leaderboard digest, so a green bench run is also a cross-engine
+conformance run (same story as ``bench_workloads.py``).
+
+The arena's *result* regression gate is not timing-based: CI's
+arena-smoke job replays this exact configuration through ``krad arena
+run`` and compares the leaderboard cell-by-cell against the committed
+``BENCH_arena.baseline.json`` with ``krad arena compare`` — ratios are
+deterministic, so that gate is exact up to the 2% re-tuning tolerance.
+"""
+
+import pytest
+
+from repro.arena import run_cross_engine_tournament, run_tournament
+from repro.sim import ENGINE_NAMES
+
+#: the CI smoke configuration — keep in sync with the arena-smoke job
+#: and the committed benchmarks/BENCH_arena.baseline.json
+SMOKE = dict(scenarios=("bursty", "hotspot"), seed=1, num_jobs=8)
+
+_conformance_checked = False
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_reduced_tournament(benchmark, engine):
+    global _conformance_checked
+    if not _conformance_checked:
+        # prove once that the timed configuration is engine-independent
+        boards = run_cross_engine_tournament(**SMOKE)
+        digests = {
+            b.content_digest() for b in boards.values()
+        }
+        assert len(digests) == 1, "engines disagree on the leaderboard"
+        _conformance_checked = True
+
+    board = benchmark(lambda: run_tournament(engine=engine, **SMOKE))
+    assert board.cells, "empty leaderboard"
+    assert all(c.makespan_ratio >= 1.0 for c in board.cells)
+    best = board.ranking()[0]
+    print(
+        f"\narena[{engine}]: {len(board.cells)} cells, best policy "
+        f"{best['policy']} (mean ratio {best['mean_ratio']:.3f})"
+    )

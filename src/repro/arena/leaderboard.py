@@ -1,0 +1,227 @@
+"""Versioned leaderboard JSON + the regression comparator.
+
+The leaderboard is the tournament's durable artifact: one **cell** per
+(policy, scenario) pair carrying the measured objectives, the certified
+lower bounds they are divided by, the resulting empirical competitive
+ratios, and full provenance (seed, job count, engine, the workload
+trace's content digest and the produced schedule's digest).  Because
+every input is deterministic, two runs of the same tournament — on
+either engine — must produce **byte-identical** leaderboard JSON apart
+from the ``engine`` field; :meth:`Leaderboard.content_digest` hashes
+the engine-masked document so that claim is one string comparison.
+
+``compare_leaderboards`` is the regression gate, in the spirit of
+``benchmarks/compare_bench.py``: ratios are deterministic (no host
+noise to normalise away), so the committed baseline is compared
+cell-by-cell with a small tolerance and any missing cell or ratio
+regression fails loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = [
+    "LEADERBOARD_FORMAT",
+    "LEADERBOARD_VERSION",
+    "LeaderboardCell",
+    "Leaderboard",
+    "load_leaderboard",
+    "compare_leaderboards",
+]
+
+LEADERBOARD_FORMAT = "arena-leaderboard"
+LEADERBOARD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LeaderboardCell:
+    """One (policy, scenario) measurement with provenance."""
+
+    policy: str
+    scenario: str
+    engine: str
+    seed: int
+    num_jobs: int
+    makespan: int
+    mean_response_time: float
+    #: certified floors the objectives are divided by
+    makespan_lower_bound: float
+    mean_response_floor: float
+    #: empirical competitive ratios (measured / certified floor)
+    makespan_ratio: float
+    mean_response_ratio: float
+    #: SHA-256 of the workload trace driving the cell
+    trace_digest: str
+    #: SHA-256 of the schedule the policy produced
+    schedule_digest: str
+
+
+@dataclass
+class Leaderboard:
+    """The tournament's result document."""
+
+    capacities: tuple[int, ...]
+    engine: str
+    seed: int
+    #: the Theorem-3 ceiling K-RAD is certified against on this machine
+    theorem3_limit: float
+    cells: list[LeaderboardCell] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": LEADERBOARD_FORMAT,
+            "version": LEADERBOARD_VERSION,
+            "capacities": list(self.capacities),
+            "engine": self.engine,
+            "seed": self.seed,
+            "theorem3_limit": self.theorem3_limit,
+            "cells": [asdict(c) for c in self.cells],
+            "ranking": self.ranking(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Leaderboard":
+        if doc.get("format") != LEADERBOARD_FORMAT:
+            raise ReproError(
+                f"not a leaderboard document: format={doc.get('format')!r}"
+            )
+        if doc.get("version") != LEADERBOARD_VERSION:
+            raise ReproError(
+                f"unsupported leaderboard version {doc.get('version')!r}"
+            )
+        return cls(
+            capacities=tuple(doc["capacities"]),
+            engine=str(doc["engine"]),
+            seed=int(doc["seed"]),
+            theorem3_limit=float(doc["theorem3_limit"]),
+            cells=[LeaderboardCell(**c) for c in doc["cells"]],
+        )
+
+    # ------------------------------------------------------------------
+    def policies(self) -> list[str]:
+        return sorted({c.policy for c in self.cells})
+
+    def scenarios(self) -> list[str]:
+        return sorted({c.scenario for c in self.cells})
+
+    def cell(self, policy: str, scenario: str) -> LeaderboardCell:
+        for c in self.cells:
+            if c.policy == policy and c.scenario == scenario:
+                return c
+        raise ReproError(
+            f"no leaderboard cell for ({policy!r}, {scenario!r})"
+        )
+
+    def ranking(
+        self, objective: str = "makespan_ratio"
+    ) -> list[dict]:
+        """Policies ordered by mean ratio over their scenarios (best
+        first); ties break alphabetically so the order is total."""
+        if objective not in (
+            "makespan_ratio", "mean_response_ratio"
+        ):
+            raise ReproError(f"unknown objective {objective!r}")
+        per_policy: dict[str, list[float]] = {}
+        for c in self.cells:
+            per_policy.setdefault(c.policy, []).append(
+                getattr(c, objective)
+            )
+        rows = [
+            {
+                "policy": name,
+                "objective": objective,
+                "mean_ratio": sum(vals) / len(vals),
+                "worst_ratio": max(vals),
+                "scenarios": len(vals),
+            }
+            for name, vals in per_policy.items()
+        ]
+        rows.sort(key=lambda r: (r["mean_ratio"], r["policy"]))
+        return rows
+
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps())
+
+    def content_digest(self, *, ignore_engine: bool = True) -> str:
+        """SHA-256 of the canonical JSON; with ``ignore_engine`` the
+        engine fields are masked, so reference- and fast-engine
+        tournaments of the same configuration must agree exactly."""
+        doc = self.to_dict()
+        if ignore_engine:
+            doc["engine"] = "*"
+            for c in doc["cells"]:
+                c["engine"] = "*"
+        blob = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def load_leaderboard(path: str | Path) -> Leaderboard:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load leaderboard {path}: {exc}") from exc
+    return Leaderboard.from_dict(doc)
+
+
+def compare_leaderboards(
+    current: Leaderboard,
+    baseline: Leaderboard,
+    *,
+    max_regression: float = 0.02,
+) -> list[str]:
+    """Regression-check ``current`` against a committed ``baseline``.
+
+    Returns a list of human-readable failures (empty means pass):
+
+    * a baseline cell missing from the current board (a policy or
+      scenario silently dropped out of the tournament);
+    * a ratio that grew by more than ``max_regression`` (relative) —
+      ratios are deterministic given (seed, jobs, capacities), so the
+      tolerance only absorbs intentional small re-tunings, not noise;
+    * a current K-RAD cell exceeding the baseline's Theorem-3 limit.
+    """
+    failures: list[str] = []
+    if tuple(current.capacities) != tuple(baseline.capacities):
+        failures.append(
+            f"capacities changed: {list(current.capacities)} vs baseline "
+            f"{list(baseline.capacities)} (not comparable)"
+        )
+        return failures
+    current_keys = {(c.policy, c.scenario) for c in current.cells}
+    for b in baseline.cells:
+        key = (b.policy, b.scenario)
+        if key not in current_keys:
+            failures.append(
+                f"cell {key} present in baseline but missing from the "
+                "current leaderboard"
+            )
+            continue
+        c = current.cell(*key)
+        for attr in ("makespan_ratio", "mean_response_ratio"):
+            cur, base = getattr(c, attr), getattr(b, attr)
+            if cur > base * (1.0 + max_regression):
+                failures.append(
+                    f"{b.policy} on {b.scenario}: {attr} regressed "
+                    f"{base:.4f} -> {cur:.4f} "
+                    f"(> {max_regression:.1%} allowed)"
+                )
+    for c in current.cells:
+        if c.policy == "k-rad" and (
+            c.makespan_ratio > baseline.theorem3_limit + 1e-9
+        ):
+            failures.append(
+                f"k-rad on {c.scenario}: makespan ratio "
+                f"{c.makespan_ratio:.4f} exceeds the Theorem-3 limit "
+                f"{baseline.theorem3_limit:.4f}"
+            )
+    return failures

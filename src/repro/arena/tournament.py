@@ -1,0 +1,202 @@
+"""The tournament: every policy x every certified scenario x an engine.
+
+Each cell is one bit-identical trace replay
+(:func:`~repro.workloads.replay.replay`) of a scenario workload under a
+registered policy, with ``validate=True`` so **every step of every
+cell passes** :func:`~repro.schedulers.base.check_allotments` — an
+infeasible policy cannot place on the leaderboard, it raises.  The
+measured makespan and mean response time are divided by the certified
+floors from :mod:`repro.theory.bounds`
+(:func:`~repro.theory.bounds.makespan_lower_bound` and the
+arbitrary-release :func:`~repro.theory.bounds.mean_response_floor`),
+so each cell's ratios are sound upper bounds on the policy's true
+competitive ratio for that workload.
+
+Only fault-free (``certified``) scenarios race: under faults the
+floors no longer certify, and dividing by them would print
+authoritative-looking nonsense.
+
+``run_tournament`` runs one engine and returns a
+:class:`~repro.arena.leaderboard.Leaderboard`;
+``run_cross_engine_tournament`` runs both engines and proves the
+boards identical apart from the engine field (per-cell schedule
+digests AND the engine-masked document digest) — the arena inherits
+the repo's differential-conformance story for free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.arena.leaderboard import Leaderboard, LeaderboardCell
+from repro.arena.registry import ArenaPolicy, arena_policies_for, get_policy
+from repro.errors import ReproError
+from repro.machine.machine import KResourceMachine
+from repro.theory.bounds import (
+    makespan_lower_bound,
+    mean_response_floor,
+    theorem3_ratio,
+)
+from repro.workloads.replay import replay
+from repro.workloads.scenarios import (
+    DEFAULT_CAPACITIES,
+    SCENARIOS,
+    build_trace,
+)
+__all__ = [
+    "certified_scenario_names",
+    "run_tournament",
+    "run_cross_engine_tournament",
+]
+
+
+def certified_scenario_names() -> list[str]:
+    """Fault-free scenarios — the only ones whose floors certify."""
+    return sorted(n for n, s in SCENARIOS.items() if s.certified)
+
+
+def _resolve_policies(
+    policies: Sequence[str] | None, capacities: tuple[int, ...]
+) -> list[ArenaPolicy]:
+    if policies is None:
+        entries = arena_policies_for(capacities)
+    else:
+        entries = [get_policy(name) for name in policies]
+        unsupported = [
+            p.name for p in entries if not p.supports(capacities)
+        ]
+        if unsupported:
+            raise ReproError(
+                f"policies {unsupported} do not support capacities "
+                f"{list(capacities)}"
+            )
+    if not entries:
+        raise ReproError(
+            f"no arena policies support capacities {list(capacities)}"
+        )
+    return entries
+
+
+def run_tournament(
+    *,
+    engine: str = "reference",
+    scenarios: Sequence[str] | None = None,
+    policies: Sequence[str] | None = None,
+    seed: int = 0,
+    num_jobs: int | None = None,
+    capacities: Sequence[int] | None = None,
+    validate: bool = True,
+) -> Leaderboard:
+    """Race the policies; return the engine's leaderboard.
+
+    ``scenarios`` defaults to every certified scenario, ``policies`` to
+    every registry entry supporting the machine, ``num_jobs`` to each
+    scenario's default.  Naming a faulted scenario is an error, not a
+    silent skip.
+    """
+    caps = tuple(int(c) for c in (capacities or DEFAULT_CAPACITIES))
+    names = list(scenarios or certified_scenario_names())
+    for name in names:
+        try:
+            spec = SCENARIOS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown scenario {name!r}; choose from "
+                f"{certified_scenario_names()}"
+            ) from None
+        if not spec.certified:
+            raise ReproError(
+                f"scenario {name!r} injects faults; its lower bounds do "
+                "not certify, so it cannot enter the tournament"
+            )
+    entries = _resolve_policies(policies, caps)
+    machine = KResourceMachine(caps)
+    board = Leaderboard(
+        capacities=caps,
+        engine=engine,
+        seed=seed,
+        theorem3_limit=theorem3_ratio(len(caps), machine.pmax),
+    )
+    for name in names:
+        trace = build_trace(
+            name, seed=seed, num_jobs=num_jobs, capacities=caps
+        )
+        jobset = trace.to_jobset()
+        mk_lb = makespan_lower_bound(jobset, machine)
+        rt_lb = mean_response_floor(jobset, machine)
+        for entry in entries:
+            outcome = replay(
+                trace,
+                engine=engine,
+                scheduler=entry.make(),
+                record_trace=True,
+                validate=validate,
+            )
+            result = outcome.result
+            if len(result.completion_times) != len(jobset):
+                raise ReproError(
+                    f"{entry.name} finished "
+                    f"{len(result.completion_times)}/{len(jobset)} jobs "
+                    f"on fault-free scenario {name!r}"
+                )
+            board.cells.append(
+                LeaderboardCell(
+                    policy=entry.name,
+                    scenario=name,
+                    engine=engine,
+                    seed=seed,
+                    num_jobs=len(jobset),
+                    makespan=int(result.makespan),
+                    mean_response_time=float(result.mean_response_time),
+                    makespan_lower_bound=float(mk_lb),
+                    mean_response_floor=float(rt_lb),
+                    makespan_ratio=float(result.makespan / mk_lb),
+                    mean_response_ratio=float(
+                        result.mean_response_time / rt_lb
+                    ),
+                    trace_digest=trace.content_digest(),
+                    schedule_digest=outcome.schedule_digest,
+                )
+            )
+    return board
+
+
+def run_cross_engine_tournament(
+    *,
+    engines: tuple[str, ...] = ("reference", "fast"),
+    **kwargs,
+) -> dict[str, Leaderboard]:
+    """Run the same tournament on every engine and prove them identical.
+
+    Identical means: per-cell schedule digests match pairwise, and the
+    engine-masked leaderboard documents hash to the same digest.  On
+    divergence raises :class:`ReproError` naming the first differing
+    cell — the arena-level analogue of
+    :func:`~repro.workloads.replay.replay_compare`.
+    """
+    if len(engines) < 2:
+        raise ReproError(
+            f"cross-engine tournament needs >= 2 engines, got {engines!r}"
+        )
+    boards = {
+        name: run_tournament(engine=name, **kwargs) for name in engines
+    }
+    ref_name = engines[0]
+    ref = boards[ref_name]
+    for name in engines[1:]:
+        other = boards[name]
+        for cell in ref.cells:
+            twin = other.cell(cell.policy, cell.scenario)
+            if twin.schedule_digest != cell.schedule_digest:
+                raise ReproError(
+                    f"engine {name} diverges from {ref_name} on "
+                    f"({cell.policy}, {cell.scenario}): schedule digest "
+                    f"{twin.schedule_digest[:12]} != "
+                    f"{cell.schedule_digest[:12]}"
+                )
+        if other.content_digest() != ref.content_digest():
+            raise ReproError(
+                f"engine {name} leaderboard differs from {ref_name} "
+                "beyond the engine field despite identical schedules"
+            )
+    return boards

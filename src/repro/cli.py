@@ -56,6 +56,13 @@ replay it bit-identically through both engines::
     krad serve --capacities 8,4 --port 7180 --trace run.ndjson
     krad replay crowd.ndjson
     krad replay run.ndjson --digests
+
+Race every registered policy over the fault-free scenarios, save the
+leaderboard, and regression-check it against a committed baseline::
+
+    krad arena run --out board.json
+    krad arena leaderboard board.json --objective response
+    krad arena compare board.json benchmarks/BENCH_arena.baseline.json
 """
 
 from __future__ import annotations
@@ -93,6 +100,7 @@ _DESCRIPTIONS = {
     "FAULT": "extension: outages, task failures, kills + retry/backoff",
     "CHURN": "extension: elastic processor churn + DEQ/RR state migration",
     "HUNT": "adversarial instance search vs the exact optimum",
+    "ARENA": "policy tournament: empirical competitive-ratio leaderboard",
 }
 
 
@@ -297,6 +305,28 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scheduler_argument(parser, *, default: str = "k-rad") -> None:
+    """The shared ``--scheduler`` flag; resolved by :func:`_resolve_scheduler`.
+
+    Every subcommand that accepts a policy name goes through the same
+    pair, so the accepted names are exactly ``Scheduler.known_names()``
+    everywhere — one resolution place, one error message.
+    """
+    parser.add_argument(
+        "--scheduler",
+        default=default,
+        help=f"scheduler name (default {default}; see "
+        "'python -c \"from repro.schedulers import Scheduler; "
+        "print(Scheduler.known_names())\"')",
+    )
+
+
+def _resolve_scheduler(name: str):
+    from repro.schedulers import Scheduler
+
+    return Scheduler.from_name(name)  # ValueError lists the known names
+
+
 def _validate_fault_flags(args) -> None:
     """Cross-flag guards for the shared fault set (cheap; no imports)."""
     if args.outage is not None and args.availability is not None:
@@ -366,6 +396,7 @@ def _build_faults_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="workload + fault RNG seed"
     )
+    _add_scheduler_argument(parser)
     _add_fault_arguments(parser)
     parser.add_argument(
         "--max-stall-steps",
@@ -391,7 +422,6 @@ def _faults_main(argv: list[str]) -> int:
     from repro.analysis.tables import format_table
     from repro.jobs import workloads
     from repro.machine.machine import KResourceMachine
-    from repro.schedulers.krad import KRad
     from repro.sim import simulate, summarize_robustness
 
     args = _build_faults_parser().parse_args(argv)
@@ -399,6 +429,7 @@ def _faults_main(argv: list[str]) -> int:
     try:
         capacities = _parse_capacities(args.capacities)
         machine = KResourceMachine(capacities)
+        scheduler = _resolve_scheduler(args.scheduler)
         capacity_schedule, fault_model, retry_policy = _build_fault_objects(
             capacities, args
         )
@@ -410,7 +441,7 @@ def _faults_main(argv: list[str]) -> int:
         )
         result = simulate(
             machine,
-            KRad(),
+            scheduler,
             js,
             capacity_schedule=capacity_schedule,
             fault_model=fault_model,
@@ -472,6 +503,7 @@ def _build_supervise_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="workload RNG seed"
     )
+    _add_scheduler_argument(parser)
     parser.add_argument(
         "--mode",
         choices=("strict", "resilient"),
@@ -544,7 +576,6 @@ def _supervise_main(argv: list[str]) -> int:
     from repro.jobs import workloads
     from repro.machine.churn import ChurnSchedule
     from repro.machine.machine import KResourceMachine
-    from repro.schedulers.krad import KRad
     from repro.sim import (
         Journal,
         ScriptedViolation,
@@ -603,7 +634,7 @@ def _supervise_main(argv: list[str]) -> int:
         js = workloads.random_dag_jobset(
             rng, machine.num_categories, args.jobs, size_hint=20
         )
-        scheduler = KRad()
+        scheduler = _resolve_scheduler(args.scheduler)
         result = engine_class(args.engine)(
             machine,
             scheduler,
@@ -630,7 +661,7 @@ def _supervise_main(argv: list[str]) -> int:
             f"incident: step {inc.step} [{inc.monitor}] {inc.action}: "
             f"{inc.message}"
         )
-    if churn is not None:
+    if churn is not None and hasattr(scheduler, "churn_transitions"):
         for alpha, ledger in enumerate(scheduler.churn_transitions()):
             moves = ", ".join(f"{k}={v}" for k, v in ledger.items() if v)
             print(f"category {alpha} migrations: {moves or 'none'}")
@@ -839,7 +870,8 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         metavar="STEP:CAT:DELTA[:DURATION]",
-        help="elastic capacity change, repeatable (see 'krad supervise')",
+        help="elastic capacity change, repeatable (see 'krad supervise'); "
+        "recorded in the --trace header so replays re-apply it",
     )
     chaos = parser.add_argument_group(
         "chaos transport (deterministic wire-fault injection)"
@@ -1090,12 +1122,6 @@ def _serve_main(argv: list[str]) -> int:
                 "sharded service runs several engines (per-shard trace "
                 "recording is future work)"
             )
-        if args.trace is not None and args.churn:
-            raise ValueError(
-                "--trace replays need the fault configuration to be "
-                "expressible in the trace header; --churn schedules are "
-                "not (yet) — drop one of the two"
-            )
         churn = None
         if args.churn:
             from repro.machine.churn import ChurnSchedule
@@ -1125,7 +1151,10 @@ def _serve_main(argv: list[str]) -> int:
             ),
             trace_path=args.trace,
             extra=(
-                {"faults": _fault_spec_from_args(args)}
+                {
+                    "faults": _fault_spec_from_args(args),
+                    "churn": churn.to_dict() if churn is not None else None,
+                }
                 if args.trace is not None
                 else {}
             ),
@@ -1747,6 +1776,193 @@ def _workload_main(argv: list[str]) -> int:
     return 0
 
 
+def _arena_main(argv: list[str]) -> int:
+    """The ``krad arena`` subcommand: policy tournaments + leaderboards."""
+    parser = argparse.ArgumentParser(
+        prog="krad arena",
+        description=(
+            "Race every registered scheduling policy over the fault-free "
+            "scenario library and report empirical competitive ratios "
+            "against the paper's certified lower bounds"
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="run a tournament and print/write the leaderboard"
+    )
+    run_p.add_argument(
+        "--engine",
+        default="both",
+        help="reference, fast, or both (default: both, proven "
+        "bit-identical apart from the engine field)",
+    )
+    run_p.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: every fault-free "
+        "scenario; see 'krad workload list')",
+    )
+    run_p.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy names (default: every registered "
+        "policy that supports the machine)",
+    )
+    run_p.add_argument("--seed", type=int, default=0, help="RNG seed")
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="job count per scenario (default: each scenario's own)",
+    )
+    run_p.add_argument(
+        "--capacities",
+        default=None,
+        help="comma-separated per-category processor counts "
+        "(default 6,4,2)",
+    )
+    run_p.add_argument(
+        "--objective",
+        choices=("makespan", "response"),
+        default="makespan",
+        help="ranking objective for the printed table (default makespan)",
+    )
+    run_p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the leaderboard JSON (the reference engine's board "
+        "when --engine both)",
+    )
+
+    show = sub.add_parser(
+        "leaderboard", help="print a saved leaderboard JSON as a table"
+    )
+    show.add_argument("file", help="leaderboard JSON file")
+    show.add_argument(
+        "--objective",
+        choices=("makespan", "response"),
+        default="makespan",
+        help="ranking objective (default makespan)",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare",
+        help="regression-check a leaderboard against a committed baseline",
+    )
+    cmp_p.add_argument("current", help="freshly produced leaderboard JSON")
+    cmp_p.add_argument("baseline", help="committed baseline JSON")
+    cmp_p.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.02,
+        metavar="FRAC",
+        help="allowed relative ratio growth per cell (default 0.02)",
+    )
+
+    args = parser.parse_args(argv)
+
+    from repro.arena import (
+        compare_leaderboards,
+        load_leaderboard,
+        run_cross_engine_tournament,
+        run_tournament,
+    )
+    from repro.errors import ReproError
+
+    objective_attr = {
+        "makespan": "makespan_ratio",
+        "response": "mean_response_ratio",
+    }
+
+    def _print_board(board) -> None:
+        from repro.analysis.tables import format_table
+
+        obj = objective_attr[args.objective]
+        rows = [
+            [
+                r["policy"],
+                round(r["mean_ratio"], 3),
+                round(r["worst_ratio"], 3),
+                r["scenarios"],
+            ]
+            for r in board.ranking(obj)
+        ]
+        print(
+            format_table(
+                ["policy", "mean ratio", "worst ratio", "scenarios"],
+                rows,
+                title=(
+                    f"{args.objective} leaderboard: engine "
+                    f"{board.engine}, seed {board.seed}, capacities "
+                    f"{list(board.capacities)}, Theorem-3 limit "
+                    f"{board.theorem3_limit:.3f}"
+                ),
+            )
+        )
+
+    try:
+        if args.action == "run":
+            kwargs = dict(
+                scenarios=(
+                    [s for s in args.scenarios.split(",") if s]
+                    if args.scenarios
+                    else None
+                ),
+                policies=(
+                    [p for p in args.policies.split(",") if p]
+                    if args.policies
+                    else None
+                ),
+                seed=args.seed,
+                num_jobs=args.jobs,
+                capacities=(
+                    _parse_capacities(args.capacities)
+                    if args.capacities is not None
+                    else None
+                ),
+            )
+            if args.engine == "both":
+                boards = run_cross_engine_tournament(**kwargs)
+                board = boards["reference"]
+                _print_board(board)
+                print(
+                    "bit-identical across reference, fast "
+                    f"(engine-masked digest "
+                    f"{board.content_digest()[:16]}…)"
+                )
+            else:
+                board = run_tournament(engine=args.engine, **kwargs)
+                _print_board(board)
+            if args.out:
+                board.dump(args.out)
+                print(f"wrote {args.out}")
+            return 0
+        if args.action == "leaderboard":
+            _print_board(load_leaderboard(args.file))
+            return 0
+        # compare
+        failures = compare_leaderboards(
+            load_leaderboard(args.current),
+            load_leaderboard(args.baseline),
+            max_regression=args.max_regression,
+        )
+    except (OSError, ReproError, ValueError) as exc:
+        print(f"krad arena: {exc}", file=sys.stderr)
+        return 2
+    if failures:
+        for f in failures:
+            print(f"krad arena: REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print(
+        f"leaderboard within {args.max_regression:.1%} of baseline on "
+        "every cell"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -1768,6 +1984,8 @@ def main(argv: list[str] | None = None) -> int:
         return _replay_main(argv[1:])
     if argv and argv[0] == "workload":
         return _workload_main(argv[1:])
+    if argv and argv[0] == "arena":
+        return _arena_main(argv[1:])
     args = _build_parser().parse_args(argv)
     target = args.experiment.upper()
 

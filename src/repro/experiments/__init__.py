@@ -13,6 +13,7 @@ from repro.experiments import (
     exp_ablation,
     exp_adaptivity,
     exp_applications,
+    exp_arena,
     exp_churn,
     exp_fairness,
     exp_faults,
@@ -64,6 +65,7 @@ REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
     "FAULT": exp_faults.run,
     "CHURN": exp_churn.run,
     "HUNT": exp_hunt.run,
+    "ARENA": exp_arena.run,
 }
 
 

@@ -7,6 +7,7 @@ from repro.schedulers.equi import Equi
 from repro.schedulers.greedy import GreedyFcfs
 from repro.schedulers.jobshop import DagShopScheduler
 from repro.schedulers.krad import KRad
+from repro.schedulers.listsched import ListScheduler
 from repro.schedulers.rad import Rad, RadCategoryState
 from repro.schedulers.randomized import RandomizedKRad
 from repro.schedulers.static import GangScheduler, StaticPartition
@@ -24,6 +25,7 @@ __all__ = [
     "GreedyFcfs",
     "DagShopScheduler",
     "KRad",
+    "ListScheduler",
     "Rad",
     "RadCategoryState",
     "RandomizedKRad",
@@ -49,6 +51,7 @@ _REGISTRY = {
         GangScheduler,
         StaticPartition,
         Setf,
+        ListScheduler,
     )
 }
 
@@ -63,4 +66,9 @@ def scheduler_by_name(name: str) -> Scheduler:
         ) from None
 
 
-__all__.append("scheduler_by_name")
+def scheduler_names() -> list[str]:
+    """All registered short names, sorted (CLI help, arena registry)."""
+    return sorted(_REGISTRY)
+
+
+__all__ += ["scheduler_by_name", "scheduler_names"]

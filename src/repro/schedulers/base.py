@@ -44,6 +44,27 @@ class Scheduler(ABC):
             )
         return self._machine
 
+    @classmethod
+    def from_name(cls, name: str) -> "Scheduler":
+        """Instantiate a registered scheduler by its short ``name``.
+
+        The single resolution point shared by the CLI ``--scheduler``
+        flags, trace replay, and the arena registry: all of them accept
+        exactly the names in :meth:`known_names` and raise the same
+        ``ValueError`` listing the choices.  Imports lazily to keep the
+        base module free of a package cycle.
+        """
+        from repro.schedulers import scheduler_by_name
+
+        return scheduler_by_name(name)
+
+    @classmethod
+    def known_names(cls) -> list[str]:
+        """Sorted short names accepted by :meth:`from_name`."""
+        from repro.schedulers import scheduler_names
+
+        return scheduler_names()
+
     def reset(self, machine: KResourceMachine) -> None:
         """Bind to a machine and clear all per-run state.
 

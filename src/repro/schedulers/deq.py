@@ -106,6 +106,13 @@ class KDeq(Scheduler):
         self._order = [[] for _ in range(machine.num_categories)]
         self._seen = [set() for _ in range(machine.num_categories)]
 
+    def state_dict(self) -> dict:
+        return {"order": [list(o) for o in self._order]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._order = [[int(j) for j in o] for o in state["order"]]
+        self._seen = [set(o) for o in self._order]
+
     def allocate(self, t, desires, jobs=None):
         k = self.machine.num_categories
         caps = self.machine.capacities

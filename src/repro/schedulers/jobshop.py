@@ -38,6 +38,13 @@ class DagShopScheduler(Scheduler):
         self._order = []
         self._seen = set()
 
+    def state_dict(self) -> dict:
+        return {"order": list(self._order)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._order = [int(j) for j in state["order"]]
+        self._seen = set(self._order)
+
     def allocate(self, t, desires, jobs=None):
         machine = self.machine
         k = machine.num_categories

@@ -69,6 +69,26 @@ class RandomizedKRad(Scheduler):
     def category_state(self, alpha: int) -> RadCategoryState:
         return self._states[alpha]
 
+    def state_dict(self) -> dict:
+        return {
+            "states": [s.state_dict() for s in self._states],
+            "rng": [s._rng.bit_generator.state for s in self._states],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["states"]) != len(self._states):
+            from repro.errors import ScheduleError
+
+            raise ScheduleError(
+                f"checkpoint has {len(state['states'])} categories, "
+                f"scheduler has {len(self._states)}"
+            )
+        for s, data, rng_state in zip(
+            self._states, state["states"], state["rng"]
+        ):
+            s.load_state_dict(data)
+            s._rng.bit_generator.state = rng_state
+
     def allocate(self, t, desires, jobs=None):
         machine = self.machine
         k = machine.num_categories

@@ -53,6 +53,24 @@ class StaticPartition(Scheduler):
         self._waiting = []
         self._free = machine.capacity_vector()
 
+    def state_dict(self) -> dict:
+        assert self._free is not None
+        return {
+            "quota": {
+                str(j): q.tolist() for j, q in self._quota.items()
+            },
+            "waiting": list(self._waiting),
+            "free": self._free.tolist(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._quota = {
+            int(j): np.asarray(q, dtype=np.int64)
+            for j, q in state["quota"].items()
+        }
+        self._waiting = [int(j) for j in state["waiting"]]
+        self._free = np.asarray(state["free"], dtype=np.int64)
+
     def _try_assign(self, jid: int) -> bool:
         """Grant a quota from free capacity; False if nothing is free."""
         assert self._free is not None
@@ -119,6 +137,13 @@ class GangScheduler(Scheduler):
         super().reset(machine)
         self._order = []
         self._seen = set()
+
+    def state_dict(self) -> dict:
+        return {"order": list(self._order)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._order = [int(j) for j in state["order"]]
+        self._seen = set(self._order)
 
     def allocate(self, t, desires, jobs=None):
         for jid in desires:

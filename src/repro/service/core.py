@@ -196,6 +196,7 @@ class SchedulingService:
                 scheduler=config.scheduler,
                 seed=config.seed,
                 faults=config.extra.get("faults"),
+                churn=config.extra.get("churn"),
                 append=True,
             )
         self._tenant_of: dict[int, str] = {}

@@ -21,6 +21,7 @@ __all__ = [
     "time_expanded_lower_bound",
     "total_response_lower_bound",
     "mean_response_lower_bound",
+    "mean_response_floor",
     "lemma2_bound",
     "theorem3_ratio",
     "theorem1_ratio",
@@ -147,6 +148,39 @@ def mean_response_lower_bound(
 ) -> float:
     """``R*(J)`` lower bound divided by ``|J|``."""
     return total_response_lower_bound(jobset, machine) / len(jobset)
+
+
+def mean_response_floor(
+    jobset: JobSet, machine: KResourceMachine
+) -> float:
+    """Per-job response floor, valid for *arbitrary* release times.
+
+    The Section-6 bounds (:func:`mean_response_lower_bound`) certify only
+    batched job sets; the arena's scenario traces release jobs over time,
+    so they need a certificate that holds for any release pattern.  For
+    every job ``Ji`` and every schedule::
+
+        R(Ji) = C(Ji) - r(Ji)
+              >= max(T_inf(Ji), max_alpha ceil(T1(Ji, alpha) / P_alpha))
+
+    The first term is the critical path (no schedule beats the span); the
+    second holds because a single step hands ``Ji`` at most ``P_alpha``
+    processors of category ``alpha``, so retiring ``T1(Ji, alpha)`` units
+    of its ``alpha``-work takes at least that many whole steps.  Both are
+    per-job quantities, so averaging them bounds the mean response time
+    from below for every scheduler, clairvoyant or not.  Weaker than the
+    squashed-area bound on batched sets (it ignores inter-job contention)
+    but sound everywhere — the right denominator for empirical
+    mean-response competitive ratios over trace workloads.
+    """
+    _check(jobset, machine)
+    if len(jobset) == 0:
+        raise ReproError("mean_response_floor needs a non-empty job set")
+    work = jobset.work_matrix().astype(np.int64)
+    caps = machine.capacity_vector().astype(np.int64)
+    steps = -(-work // caps)  # ceil division, per job x category
+    per_job = np.maximum(jobset.spans(), steps.max(axis=1))
+    return float(per_job.mean())
 
 
 def theorem5_total_rt_bound(

@@ -35,6 +35,7 @@ from repro.workloads.scenarios import (
 )
 from repro.workloads.trace import (
     TRACE_FORMAT,
+    TRACE_READ_VERSIONS,
     TRACE_VERSION,
     WorkloadTrace,
     WorkloadTraceWriter,
@@ -61,6 +62,7 @@ __all__ = [
     "scenario_names",
     "zipf_tenant_weights",
     "TRACE_FORMAT",
+    "TRACE_READ_VERSIONS",
     "TRACE_VERSION",
     "WorkloadTrace",
     "WorkloadTraceWriter",

@@ -1,8 +1,8 @@
 """Bit-identical replay of workload traces through either engine.
 
-``replay(trace)`` rebuilds the machine, scheduler and fault hooks from
-the trace header, then drives the *online* surface exactly as the
-original run did: advance the clock to each record's submission time,
+``replay(trace)`` rebuilds the machine, scheduler, fault hooks and
+churn schedule from the trace header, then drives the *online* surface
+exactly as the original run did: advance the clock to each record's submission time,
 inject (or cancel) the recorded job, and finally run to completion.
 Because the engine only advances the clock while admitted work exists,
 the replay visits the identical state the live run was in at each
@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.errors import ReplayError
 from repro.jobs.jobset import JobSet
 from repro.machine.machine import KResourceMachine
-from repro.schedulers import scheduler_by_name
+from repro.schedulers import Scheduler, scheduler_by_name
 from repro.sim.engine import engine_class, get_default_engine
 from repro.sim.faults import fault_objects_from_spec
 from repro.sim.results import SimulationResult
@@ -54,7 +54,7 @@ def replay(
     trace: WorkloadTrace,
     *,
     engine: str | None = None,
-    scheduler: str | None = None,
+    scheduler: str | Scheduler | None = None,
     record_trace: bool = True,
     validate: bool = False,
     max_stall_steps: int = 1000,
@@ -64,10 +64,17 @@ def replay(
     The machine, scheduler, seed and fault hooks come from the trace
     header (``scheduler`` overrides the recorded one for what-if
     replays — the result is then a counterfactual, not a reproduction).
-    Returns the outcome with schedule digests when ``record_trace``.
+    ``scheduler`` may also be a :class:`~repro.schedulers.Scheduler`
+    *instance* for policies that are not in the name registry (arena
+    env-policy adapters); pass a fresh instance per replay, since the
+    engine resets it.  Returns the outcome with schedule digests when
+    ``record_trace``.
     """
     machine = KResourceMachine(trace.capacities, trace.names)
-    sched = scheduler_by_name(scheduler or trace.scheduler)
+    if isinstance(scheduler, Scheduler):
+        sched = scheduler
+    else:
+        sched = scheduler_by_name(scheduler or trace.scheduler)
     capacity_schedule, fault_model, retry_policy = fault_objects_from_spec(
         trace.capacities, trace.faults
     )
@@ -82,6 +89,7 @@ def replay(
         capacity_schedule=capacity_schedule,
         fault_model=fault_model,
         retry_policy=retry_policy,
+        churn=trace.churn_schedule(),
         max_stall_steps=max_stall_steps,
     )
     for i, rec in enumerate(trace.records):
@@ -96,7 +104,10 @@ def replay(
             raise ReplayError(
                 f"record {i} ({rec['kind']}) could not be replayed: {exc}"
             ) from exc
-    result = sim.run(validate=validate)
+    # per-step feasibility (check_allotments) is the constructor's
+    # ``validate``; run(validate=True) would re-validate the schedule
+    # against the constructor jobset, which is empty for injected jobs
+    result = sim.run()
     digests = result.trace.step_digests() if result.trace else []
     sched_digest = result.trace.content_digest() if result.trace else ""
     return ReplayOutcome(

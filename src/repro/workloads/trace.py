@@ -9,10 +9,11 @@ either engine reproduces the execution bit-identically.
 
 Wire shape: newline-delimited JSON.  Line 1 is the header::
 
-    {"format": "workload-trace", "version": 1, "capacities": [8, 4],
+    {"format": "workload-trace", "version": 2, "capacities": [8, 4],
      "names": [...], "scheduler": "k-rad", "seed": 0,
-     "faults": null | {...fault_spec...}, "scenario": null | "name",
-     "notes": [...]}
+     "faults": null | {...fault_spec...},
+     "churn": null | {...ChurnSchedule.to_dict()...},
+     "scenario": null | "name", "notes": [...]}
 
 then one record per line, in submission order::
 
@@ -25,7 +26,9 @@ are non-decreasing in ``t``); ``release`` is the *effective* release
 step (``release >= t``).  Compatibility: loaders reject documents whose
 ``version`` they do not read, rather than guessing — bump the version on
 any change to record semantics, and keep old readers for one version
-when you do.
+when you do.  Version 2 added the optional ``churn`` header field (the
+run's capacity-churn schedule, so churned runs replay bit-identically);
+version-1 documents still load, with ``churn`` null.
 
 The format is append-friendly (the service streams accepted submissions
 line by line) and digestible: :meth:`WorkloadTrace.content_digest` is a
@@ -46,6 +49,7 @@ from repro.jobs.jobset import JobSet
 
 __all__ = [
     "TRACE_FORMAT",
+    "TRACE_READ_VERSIONS",
     "TRACE_VERSION",
     "WorkloadTrace",
     "WorkloadTraceWriter",
@@ -54,7 +58,9 @@ __all__ = [
 ]
 
 TRACE_FORMAT = "workload-trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+#: header versions this build can load (writers always emit the latest)
+TRACE_READ_VERSIONS = (1, 2)
 
 _RECORD_KINDS = ("submit", "cancel")
 
@@ -72,6 +78,7 @@ class WorkloadTrace:
     scheduler: str = "k-rad"
     seed: int = 0
     faults: dict | None = None
+    churn: dict | None = None
     scenario: str | None = None
     notes: list[str] = field(default_factory=list)
     records: list[dict] = field(default_factory=list)
@@ -86,6 +93,14 @@ class WorkloadTrace:
                 f"workload trace needs positive capacities, got "
                 f"{self.capacities}"
             )
+        if self.churn is not None:
+            schedule = self.churn_schedule()
+            if schedule.nominal != self.capacities:
+                raise SerializationError(
+                    f"churn schedule nominal capacities "
+                    f"{schedule.nominal} disagree with the trace's "
+                    f"capacities {self.capacities}"
+                )
         last_t = 0
         for i, rec in enumerate(self.records):
             kind = rec.get("kind")
@@ -121,6 +136,15 @@ class WorkloadTrace:
     @property
     def num_categories(self) -> int:
         return len(self.capacities)
+
+    def churn_schedule(self):
+        """The recorded :class:`~repro.machine.churn.ChurnSchedule`,
+        or ``None`` when the run had no churn."""
+        if self.churn is None:
+            return None
+        from repro.machine.churn import ChurnSchedule
+
+        return ChurnSchedule.from_dict(self.churn)
 
     def submissions(self) -> list[dict]:
         return [r for r in self.records if r["kind"] == "submit"]
@@ -164,6 +188,7 @@ class WorkloadTrace:
             "scheduler": self.scheduler,
             "seed": int(self.seed),
             "faults": dict(self.faults) if self.faults else None,
+            "churn": dict(self.churn) if self.churn else None,
             "scenario": self.scenario,
             "notes": list(self.notes),
         }
@@ -221,11 +246,12 @@ class WorkloadTrace:
                 f"expected a {TRACE_FORMAT!r} header, got "
                 f"{header.get('format') if isinstance(header, dict) else header!r}"
             )
-        if header.get("version") != TRACE_VERSION:
+        if header.get("version") not in TRACE_READ_VERSIONS:
             raise SerializationError(
                 f"unsupported workload-trace version "
-                f"{header.get('version')!r} (this build reads version "
-                f"{TRACE_VERSION}; re-record the trace or convert it)"
+                f"{header.get('version')!r} (this build reads versions "
+                f"{list(TRACE_READ_VERSIONS)}; re-record the trace or "
+                f"convert it)"
             )
         records = []
         for i, line in enumerate(it):
@@ -244,6 +270,7 @@ class WorkloadTrace:
             scheduler=str(header.get("scheduler", "k-rad")),
             seed=int(header.get("seed", 0)),
             faults=header.get("faults"),
+            churn=header.get("churn"),
             scenario=header.get("scenario"),
             notes=list(header.get("notes", [])),
             records=records,
@@ -282,6 +309,7 @@ class WorkloadTraceWriter:
         scheduler: str = "k-rad",
         seed: int = 0,
         faults: dict | None = None,
+        churn: dict | None = None,
         scenario: str | None = None,
         notes: Sequence[str] = (),
         append: bool = False,
@@ -297,6 +325,12 @@ class WorkloadTraceWriter:
                     f"{existing.capacities}, writer was given "
                     f"{tuple(capacities)}"
                 )
+            if existing.churn != (dict(churn) if churn else None):
+                raise SerializationError(
+                    f"cannot append to {path}: trace records churn "
+                    f"{existing.churn!r}, writer was given {churn!r} — "
+                    f"a resumed run must keep its original churn schedule"
+                )
             header_needed = False
         self._fh = open(  # noqa: SIM115 - held across calls by design
             path, "a" if not header_needed else "w", encoding="utf-8"
@@ -308,6 +342,7 @@ class WorkloadTraceWriter:
                 scheduler=scheduler,
                 seed=seed,
                 faults=faults,
+                churn=churn,
                 scenario=scenario,
                 notes=list(notes),
             ).header()
@@ -398,6 +433,7 @@ def workload_trace_from_journal(
         scheduler=str(meta.get("scheduler", "k-rad")),
         seed=seed,
         faults=faults,
+        churn=meta.get("churn"),
         scenario=None,
         notes=[f"converted from journal {os.path.basename(path)}"],
         records=out,

@@ -65,7 +65,7 @@ class TestRegistry:
         }
         extensions = {
             "RAND", "SPEED", "FEEDBACK", "ABLATE", "FAULT", "CHURN", "HUNT",
-            "SCEN",
+            "SCEN", "ARENA",
         }
         assert set(REGISTRY) == paper | extensions
 

@@ -145,6 +145,140 @@ class TestTraceFormat:
             WorkloadTraceWriter(path, capacities=(8, 8), append=True)
 
 
+def _churn_schedule(caps=(4, 2)):
+    from repro.machine.churn import ChurnEvent, ChurnSchedule
+
+    return ChurnSchedule(
+        caps,
+        [
+            ChurnEvent(step=4, category=0, delta=-2, duration=5),
+            ChurnEvent(step=8, category=1, delta=2, duration=None),
+        ],
+    )
+
+
+class TestChurnInTraces:
+    """Version-2 headers carry the run's churn schedule, so churned
+    runs replay bit-identically — the ``--trace``+``--churn`` path
+    ``krad serve`` used to refuse."""
+
+    def test_header_round_trips_churn(self, tmp_path):
+        churn = _churn_schedule()
+        path = str(tmp_path / "c.ndjson")
+        rng = np.random.default_rng(0)
+        with WorkloadTraceWriter(
+            path, capacities=(4, 2), churn=churn.to_dict()
+        ) as w:
+            w.record_submit(
+                t=0, release=0, tenant="a",
+                job=random_phase_job(rng, 2, job_id=0),
+            )
+        tr = WorkloadTrace.load(path)
+        assert tr.churn == churn.to_dict()
+        assert tr.churn_schedule().nominal == (4, 2)
+
+    def test_version_1_documents_still_load(self, tmp_path):
+        import json
+
+        tr = build_trace("hotspot", seed=4, num_jobs=4)
+        lines = list(tr.lines())
+        header = json.loads(lines[0])
+        header["version"] = 1
+        del header["churn"]
+        path = tmp_path / "v1.ndjson"
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        back = WorkloadTrace.load(str(path))
+        assert back.churn is None
+        assert back.records_digest() == tr.records_digest()
+
+    def test_nominal_mismatch_rejected(self):
+        with pytest.raises(SerializationError, match="nominal"):
+            WorkloadTrace(
+                capacities=(8, 2), churn=_churn_schedule().to_dict()
+            )
+
+    def test_writer_append_checks_churn(self, tmp_path):
+        path = str(tmp_path / "c.ndjson")
+        churn = _churn_schedule()
+        with WorkloadTraceWriter(
+            path, capacities=(4, 2), churn=churn.to_dict()
+        ):
+            pass
+        with pytest.raises(SerializationError, match="churn"):
+            WorkloadTraceWriter(path, capacities=(4, 2), append=True)
+        # same churn resumes fine (supervisor restart path)
+        WorkloadTraceWriter(
+            path, capacities=(4, 2), churn=churn.to_dict(), append=True
+        ).close()
+
+    def test_churned_replay_is_bit_identical_and_applied(self, tmp_path):
+        churn = _churn_schedule()
+        path = str(tmp_path / "c.ndjson")
+        rng = np.random.default_rng(7)
+        with WorkloadTraceWriter(
+            path, capacities=(4, 2), seed=3, churn=churn.to_dict()
+        ) as w:
+            for i in range(8):
+                w.record_submit(
+                    t=i, release=i, tenant="t",
+                    job=random_phase_job(
+                        rng, 2, max_phases=3, max_work=20, job_id=i
+                    ),
+                )
+        tr = WorkloadTrace.load(path)
+        outcomes = replay_compare(tr, validate=True)
+        ref, fast = outcomes["reference"], outcomes["fast"]
+        assert ref.step_digests == fast.step_digests
+        assert ref.state_digest == fast.state_digest
+        # dropping the churn changes the schedule: it really applied
+        bare = WorkloadTrace(
+            capacities=tr.capacities,
+            scheduler=tr.scheduler,
+            seed=tr.seed,
+            records=tr.records,
+        )
+        assert (
+            replay(bare, engine="reference").schedule_digest
+            != ref.schedule_digest
+        )
+
+    def test_churned_service_run_records_and_replays(self, tmp_path):
+        churn = _churn_schedule()
+        cfg = ServiceConfig(
+            capacities=(4, 2),
+            seed=3,
+            journal_path=str(tmp_path / "svc.journal"),
+            trace_path=str(tmp_path / "svc.trace.ndjson"),
+            extra={"faults": None, "churn": churn.to_dict()},
+        )
+        svc = SchedulingService.open(cfg, churn=churn)
+        rng = np.random.default_rng(21)
+        for i in range(6):
+            job = random_phase_job(
+                rng, 2, max_phases=2, max_work=12, job_id=0
+            )
+            ack = svc.submit(
+                f"t{i % 2}",
+                job,
+                release_time=svc.clock + int(rng.integers(0, 4)),
+            )
+            assert ack["ok"], ack
+            svc.tick()
+        summary = svc.drain()
+        tr = WorkloadTrace.load(cfg.trace_path)
+        assert tr.churn == churn.to_dict()
+        for engine in ("reference", "fast"):
+            out = replay(tr, engine=engine)
+            assert out.makespan == summary["makespan"]
+            assert out.state_digest == summary["digest"]
+        # the journal carries the same churn (engine meta), so the
+        # journal-derived trace replays identically too
+        jt = workload_trace_from_journal(cfg.journal_path, seed=cfg.seed)
+        assert jt.churn == churn.to_dict()
+        out = replay(jt, engine="fast")
+        assert out.state_digest == summary["digest"]
+
+
 class TestReplay:
     @pytest.mark.parametrize(
         "name", ["flash-crowd", "diurnal", "adversarial-mix"]

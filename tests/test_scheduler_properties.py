@@ -1,0 +1,123 @@
+"""Hypothesis properties for the non-clairvoyant baseline schedulers.
+
+Two contracts, searched rather than hand-picked:
+
+* **Feasibility** — for *any* desire matrix (including all-zero rows and
+  desires far above capacity), ``allocate`` returns allotments that pass
+  :func:`~repro.schedulers.base.check_allotments` — non-negative, at
+  most the desire, per-category totals within ``P_alpha``.
+* **Determinism** — two fresh instances fed the identical observation
+  sequence produce identical allotments, and two full scenario replays
+  under a fixed seed hash to the identical schedule digest.  This is
+  the property the arena leaderboard's reproducibility claim rests on.
+
+The arena tournament already proves feasibility along *realized*
+trajectories (``replay(validate=True)``); here Hypothesis feeds
+adversarial desire matrices no simulation would produce.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.machine import KResourceMachine
+from repro.schedulers import Scheduler
+from repro.schedulers.base import check_allotments
+from repro.workloads.replay import replay
+from repro.workloads.scenarios import SCENARIOS, build_trace
+
+#: the non-clairvoyant baselines every arena run races
+POLICIES = ("equi", "greedy-fcfs", "k-rr", "setf", "list-sched")
+
+CERTIFIED = sorted(n for n, s in SCENARIOS.items() if s.certified)
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+policy_names = st.sampled_from(POLICIES)
+
+
+@st.composite
+def machines(draw):
+    k = draw(st.integers(min_value=1, max_value=4))
+    caps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=8), min_size=k, max_size=k
+        )
+    )
+    return KResourceMachine(tuple(caps))
+
+
+@st.composite
+def desire_sequences(draw, machine):
+    """A short run of per-step desire mappings over a stable job set."""
+    k = machine.num_categories
+    num_jobs = draw(st.integers(min_value=0, max_value=6))
+    steps = draw(st.integers(min_value=1, max_value=4))
+    seq = []
+    for _ in range(steps):
+        desires = {}
+        for job_id in range(num_jobs):
+            row = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=12),
+                    min_size=k,
+                    max_size=k,
+                )
+            )
+            desires[job_id] = np.asarray(row, dtype=np.int64)
+        seq.append(desires)
+    return seq
+
+
+class TestAllocateFeasible:
+    @SETTINGS
+    @given(data=st.data(), name=policy_names)
+    def test_any_desires_yield_feasible_allotments(self, data, name):
+        machine = data.draw(machines())
+        seq = data.draw(desire_sequences(machine))
+        sched = Scheduler.from_name(name)
+        sched.reset(machine)
+        for t, desires in enumerate(seq, start=1):
+            allot = sched.allocate(t, desires)
+            check_allotments(machine, desires, allot)
+
+    @SETTINGS
+    @given(data=st.data(), name=policy_names)
+    def test_identical_observations_identical_allotments(self, data, name):
+        machine = data.draw(machines())
+        seq = data.draw(desire_sequences(machine))
+        runs = []
+        for _ in range(2):
+            sched = Scheduler.from_name(name)
+            sched.reset(machine)
+            out = []
+            for t, desires in enumerate(seq, start=1):
+                allot = sched.allocate(t, desires)
+                out.append(
+                    {j: tuple(a.tolist()) for j, a in allot.items()}
+                )
+            runs.append(out)
+        assert runs[0] == runs[1]
+
+
+class TestScenarioReplayDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=policy_names,
+        scenario=st.sampled_from(CERTIFIED),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_replay_digest_is_seed_deterministic(
+        self, name, scenario, seed
+    ):
+        trace = build_trace(scenario, seed=seed, num_jobs=5)
+        first = replay(
+            trace, engine="fast", scheduler=name, validate=True
+        )
+        second = replay(
+            trace, engine="fast", scheduler=name, validate=True
+        )
+        assert first.schedule_digest == second.schedule_digest
+        assert first.state_digest == second.state_digest
+        assert first.makespan == second.makespan
